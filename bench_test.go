@@ -1,0 +1,98 @@
+// Benchmarks regenerating every experiment of the evaluation (DESIGN.md
+// E1–E10). Each bench runs its experiment at a reduced scale so the
+// full suite stays laptop-sized; use cmd/experiments -scale 1.0 for the
+// EXPERIMENTS.md workloads. b.N loops re-run the full experiment, so
+// per-op time is the cost of regenerating the table.
+package scalefree_test
+
+import (
+	"testing"
+
+	"scalefree/internal/experiment"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+	"scalefree/internal/weights"
+)
+
+// benchScale keeps every experiment bench in the hundreds-of-
+// milliseconds range.
+const benchScale = 0.05
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiment.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiment.Config{Seed: 2024, Scale: benchScale}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1Theorem1Weak(b *testing.B)           { benchmarkExperiment(b, "E1") }
+func BenchmarkE2Theorem1Strong(b *testing.B)         { benchmarkExperiment(b, "E2") }
+func BenchmarkE3Theorem2CF(b *testing.B)             { benchmarkExperiment(b, "E3") }
+func BenchmarkE4EquivalenceProbability(b *testing.B) { benchmarkExperiment(b, "E4") }
+func BenchmarkE5MaxDegree(b *testing.B)              { benchmarkExperiment(b, "E5") }
+func BenchmarkE6DegreeDistributions(b *testing.B)    { benchmarkExperiment(b, "E6") }
+func BenchmarkE7Diameter(b *testing.B)               { benchmarkExperiment(b, "E7") }
+func BenchmarkE8AdamicSearch(b *testing.B)           { benchmarkExperiment(b, "E8") }
+func BenchmarkE9KleinbergRouting(b *testing.B)       { benchmarkExperiment(b, "E9") }
+func BenchmarkE10PercolationSearch(b *testing.B)     { benchmarkExperiment(b, "E10") }
+func BenchmarkE11UniformAttachment(b *testing.B)     { benchmarkExperiment(b, "E11") }
+
+// BenchmarkAblationFenwickVsEndpointArray quantifies the design choice
+// called out in DESIGN.md §5.2: exact mixed-weight sampling via a
+// Fenwick tree versus the O(1) endpoint-array trick that only supports
+// pure hit-count weights. Run with -bench Ablation to compare.
+func BenchmarkAblationFenwickVsEndpointArray(b *testing.B) {
+	const n = 1 << 15
+	b.Run("fenwick", func(b *testing.B) {
+		f := weights.NewFenwick(n)
+		r := rng.New(1)
+		for i := 1; i <= n; i++ {
+			f.Add(i, 1)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Add(f.Sample(r), 1)
+		}
+	})
+	b.Run("endpoint-array", func(b *testing.B) {
+		e := weights.NewEndpointArray(n + 1)
+		r := rng.New(1)
+		for i := 1; i <= n; i++ {
+			e.Record(int32(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Record(e.Sample(r))
+		}
+	})
+}
+
+// BenchmarkAblationMergeFactor measures how the merge factor m affects
+// merged-Móri generation cost (the tree underneath has N·m vertices).
+func BenchmarkAblationMergeFactor(b *testing.B) {
+	for _, m := range []int{1, 2, 4, 8} {
+		cfg := mori.Config{N: 1 << 11, M: m, P: 0.5}
+		b.Run(cfg.String(), func(b *testing.B) {
+			r := rng.New(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.Generate(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+// Command experiments runs the paper-reproduction experiment suite
+// (E1–E10, see DESIGN.md) and prints the EXPERIMENTS.md tables.
+//
+// Usage:
+//
+//	experiments [-run E1,E4] [-scale 1.0] [-seed 2024] [-csv dir]
+//
+// -scale shrinks workload sizes and replication counts proportionally
+// (0.1 gives a quick smoke run); -csv additionally writes every table
+// as a CSV file into the given directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"scalefree/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runList = flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full EXPERIMENTS.md workload)")
+		seed    = flag.Uint64("seed", 2024, "master seed")
+		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files (optional)")
+	)
+	flag.Parse()
+
+	var selected []experiment.Experiment
+	if *runList == "all" {
+		selected = experiment.Registry()
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiment.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: E1..E10)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("creating CSV directory: %w", err)
+		}
+	}
+
+	cfg := experiment.Config{Seed: *seed, Scale: *scale}
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s (scale %.2f, seed %d)\n", e.ID, e.Title, *scale, *seed)
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("    completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+		for ti, tab := range tables {
+			if err := tab.Render(os.Stdout); err != nil {
+				return err
+			}
+			if *csvDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), ti)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					return fmt.Errorf("creating %s: %w", name, err)
+				}
+				if err := tab.CSV(f); err != nil {
+					f.Close()
+					return fmt.Errorf("writing %s: %w", name, err)
+				}
+				if err := f.Close(); err != nil {
+					return fmt.Errorf("closing %s: %w", name, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command genstats generates one graph from a chosen model and prints
+// its structural statistics: degree distribution with power-law fit,
+// maximum degree, distances, and connectivity.
+//
+// Usage:
+//
+//	genstats -model mori -n 16384 -p 0.5 -m 1 [-seed 1]
+//	genstats -model cf -n 16384 -alpha 0.8
+//	genstats -model ba -n 16384 -m 2
+//	genstats -model config -n 16384 -k 2.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"scalefree/internal/ba"
+	"scalefree/internal/configmodel"
+	"scalefree/internal/cooperfrieze"
+	"scalefree/internal/graph"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+	"scalefree/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "genstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model = flag.String("model", "mori", "graph model: mori, cf, ba, config")
+		n     = flag.Int("n", 16384, "number of vertices")
+		p     = flag.Float64("p", 0.5, "mori: preferential mixing")
+		m     = flag.Int("m", 1, "mori/ba: merge factor / edges per vertex")
+		alpha = flag.Float64("alpha", 0.8, "cf: probability of procedure New")
+		k     = flag.Float64("k", 2.3, "config: power-law exponent")
+		seed  = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var g *graph.Graph
+	var err error
+	switch *model {
+	case "mori":
+		g, err = mori.Config{N: *n, M: *m, P: *p}.Generate(r)
+	case "cf":
+		var res *cooperfrieze.Result
+		res, err = cooperfrieze.Config{N: *n, Alpha: *alpha, Beta: 0.5, Gamma: 0.5,
+			Delta: 0.5, AllowLoops: true}.Generate(r)
+		if err == nil {
+			g = res.Graph
+		}
+	case "ba":
+		g, err = ba.Config{N: *n, M: *m}.Generate(r)
+	case "config":
+		g, err = configmodel.Config{N: *n, Exponent: *k}.Generate(r)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model %s: %d vertices, %d edges, %d self-loops\n",
+		*model, g.NumVertices(), g.NumEdges(), g.NumSelfLoops())
+	_, comps := graph.Components(g)
+	fmt.Printf("connected components: %d\n", comps)
+
+	degs := g.Degrees()[1:]
+	sum := stats.Summarize(stats.IntsToFloats(degs))
+	fmt.Printf("degree: mean %.2f  median %.0f  max %d\n", sum.Mean, sum.Median, g.MaxDegree())
+	fmt.Printf("max indegree: %d (n^%.3f)\n", g.MaxInDegree(),
+		math.Log(float64(g.MaxInDegree()))/math.Log(float64(g.NumVertices())))
+
+	if fit, err := stats.FitPowerLawAuto(degs, 50); err == nil {
+		fmt.Printf("power-law tail fit: alpha %.3f ± %.3f (xmin %d, %d tail points, KS %.3f)\n",
+			fit.Alpha, fit.StdErr, fit.Xmin, fit.NTail, fit.KS)
+	} else {
+		fmt.Printf("power-law tail fit unavailable: %v\n", err)
+	}
+
+	if comps == 1 {
+		sources := make([]graph.Vertex, 8)
+		for i := range sources {
+			sources[i] = graph.Vertex(r.IntRange(1, g.NumVertices()))
+		}
+		mean := graph.AverageDistanceSampled(g, sources)
+		diam := graph.DoubleSweepLowerBound(g, sources[0])
+		fmt.Printf("mean distance %.2f (%.2f·ln n), diameter >= %d\n",
+			mean, mean/math.Log(float64(g.NumVertices())), diam)
+	} else {
+		sub, _ := graph.LargestComponent(g)
+		fmt.Printf("giant component: %d vertices (%.1f%%)\n",
+			sub.NumVertices(), 100*float64(sub.NumVertices())/float64(g.NumVertices()))
+	}
+
+	ccdf := stats.HistogramOf(degs).CCDF()
+	fmt.Println("degree CCDF (value: fraction >= value):")
+	step := len(ccdf)/10 + 1
+	for i := 0; i < len(ccdf); i += step {
+		fmt.Printf("  %6d: %.5f\n", ccdf[i].X, ccdf[i].Frac)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Lowerbound walks through the paper's proof machinery end to end:
+//
+//  1. Lemma 2 — exhaustively verifies on small trees that window
+//     permutations preserve the tree distribution conditional on
+//     E_{a,b};
+//  2. Lemma 3 — compares the exact event probability with the
+//     e^{-(1-p)} floor across p;
+//  3. Lemma 1 / Theorem 1 — sweeps n and shows every weak-model
+//     algorithm's measured cost sitting above |V|·P(E)/2, growing
+//     like √n.
+//
+// Run with: go run ./examples/lowerbound
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"scalefree/internal/core"
+	"scalefree/internal/equivalence"
+	"scalefree/internal/experiment"
+	"scalefree/internal/mori"
+	"scalefree/internal/search"
+)
+
+func main() {
+	// Step 1: Lemma 2, exactly.
+	checked, err := equivalence.VerifyLemma2(7, 3, 6, 0.5, 1e-12)
+	if err != nil {
+		log.Fatal("Lemma 2 verification failed:", err)
+	}
+	fmt.Printf("Lemma 2: all %d (tree, permutation) pairs on 7-vertex trees preserve P(T) exactly\n\n", checked)
+
+	// Step 2: Lemma 3 across p.
+	lemma3 := &experiment.Table{
+		Title:   "Lemma 3: P(E_{a,b}) vs the e^{-(1-p)} floor (a=4095, b=a+63)",
+		Columns: []string{"p", "exact P(E)", "floor", "holds"},
+	}
+	a := 4095
+	b := a + 63
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		exact, err := equivalence.ExactEventProb(p, a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		floor := equivalence.Lemma3Bound(p)
+		lemma3.AddRow(p, exact, floor, fmt.Sprintf("%v", exact >= floor))
+	}
+	if err := lemma3.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: the theorem in action. Every weak algorithm pays Ω(√n).
+	const p = 0.5
+	table := &experiment.Table{
+		Title:   "Theorem 1: measured E[requests] vs the |V|·P(E)/2 bound (Móri, p=0.5)",
+		Columns: []string{"algorithm", "n=1024", "n=4096", "bound@1024", "bound@4096", "exponent"},
+		Notes:   []string{"all measured means must exceed the bound; exponents cluster at or above 0.5"},
+	}
+	sizes := []int{1024, 4096}
+	for _, alg := range []search.Algorithm{
+		search.NewFlood(),
+		search.NewRandomEdge(),
+		search.NewDegreeGreedyWeak(),
+		search.NewIDGreedyWeak(),
+	} {
+		res, err := core.MeasureScaling(sizes,
+			func(n int) core.GraphGen { return core.MoriGen(mori.Config{N: n, M: 1, P: p}) },
+			func(n int) (float64, error) { return core.Theorem1Bound(n, p) },
+			core.SearchSpec{Algorithm: alg, Reps: 16, Seed: 7},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(alg.Name(),
+			res.Points[0].Measurement.Requests.Mean,
+			res.Points[1].Measurement.Requests.Mean,
+			res.Points[0].Bound,
+			res.Points[1].Bound,
+			res.Fit.Exponent)
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Interpretation: identities carry no routing signal near the target —")
+	fmt.Println("conditional on E, the last √n labels are interchangeable, so every")
+	fmt.Println("algorithm must probe half of them in expectation (Lemma 1).")
+}

@@ -1,0 +1,92 @@
+// Navigability contrasts the two worlds the paper bridges:
+//
+//   - Kleinberg's grid, where labels are coordinates and greedy routing
+//     with local knowledge delivers in O(log² n) steps at r = 2;
+//   - random scale-free graphs, where labels are ages and the paper
+//     proves NO local algorithm — greedy-on-labels included — can beat
+//     Ω(√n).
+//
+// Run with: go run ./examples/navigability
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"scalefree/internal/core"
+	"scalefree/internal/experiment"
+	"scalefree/internal/graph"
+	"scalefree/internal/kleinberg"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+	"scalefree/internal/search"
+)
+
+func main() {
+	const seed = 7
+	const trials = 400
+
+	grid := &experiment.Table{
+		Title:   "Kleinberg grids: mean greedy-routing steps (navigable world)",
+		Columns: []string{"n", "r=0", "r=1", "r=2", "r=3", "ln²n"},
+		Notes:   []string{"r = 2 tracks ln²n; other exponents drift polynomial (r<2 separates slowly at these sizes)"},
+	}
+	for _, L := range []int{32, 64, 128} {
+		n := L * L
+		row := []interface{}{n}
+		for _, rExp := range []float64{0, 1, 2, 3} {
+			g, err := kleinberg.Config{L: L, R: rExp}.Generate(rng.New(seed))
+			if err != nil {
+				log.Fatal(err)
+			}
+			src := rng.New(seed + 1)
+			total := 0
+			for i := 0; i < trials; i++ {
+				s := graph.Vertex(src.IntRange(1, n))
+				t := graph.Vertex(src.IntRange(1, n))
+				total += g.GreedyRoute(s, t, 0).Steps
+			}
+			row = append(row, float64(total)/trials)
+		}
+		ln := math.Log(float64(n))
+		row = append(row, ln*ln)
+		grid.AddRow(row...)
+	}
+	if err := grid.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	scaleFree := &experiment.Table{
+		Title:   "Scale-free world: label-greedy search on Móri graphs (weak model)",
+		Columns: []string{"n", "id-greedy mean", "degree-greedy mean", "Ω bound", "√n"},
+		Notes:   []string{"labels are insertion times — the closest analogue of coordinates — yet cost grows like √n"},
+	}
+	for _, n := range []int{1024, 4096, 16384} {
+		row := []interface{}{n}
+		for _, alg := range []search.Algorithm{search.NewIDGreedyWeak(), search.NewDegreeGreedyWeak()} {
+			m, err := core.MeasureSearch(
+				core.MoriGen(mori.Config{N: n, M: 1, P: 0.5}),
+				core.SearchSpec{Algorithm: alg, Reps: 16, Seed: seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, m.Requests.Mean)
+		}
+		bound, err := core.Theorem1Bound(n, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row = append(row, bound, math.Sqrt(float64(n)))
+		scaleFree.AddRow(row...)
+	}
+	if err := scaleFree.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The asymmetry is the paper's point: navigability is a property of the")
+	fmt.Println("label structure, not of short diameters. Kleinberg lattices embed a")
+	fmt.Println("metric into labels; evolving scale-free graphs make the youngest √n")
+	fmt.Println("labels statistically interchangeable, so no local rule can home in.")
+}

@@ -1,0 +1,111 @@
+// P2psearch simulates an unstructured peer-to-peer lookup (the
+// Gnutella-style scenario motivating Adamic et al. and Sarshar et al.):
+// a power-law overlay network where a peer must locate a file hosted by
+// an unknown peer, comparing
+//
+//   - flooding (Gnutella's protocol),
+//   - a random walk,
+//   - Adamic et al.'s high-degree routing, and
+//   - Sarshar et al.'s percolation search with replication.
+//
+// Run with: go run ./examples/p2psearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"scalefree/internal/configmodel"
+	"scalefree/internal/core"
+	"scalefree/internal/experiment"
+	"scalefree/internal/graph"
+	"scalefree/internal/percolation"
+	"scalefree/internal/rng"
+	"scalefree/internal/search"
+)
+
+func main() {
+	const (
+		n    = 16384
+		k    = 2.3 // power-law exponent of the overlay
+		seed = 99
+		reps = 30
+	)
+
+	gen := func(r *rng.RNG) (*graph.Graph, error) {
+		g, _, err := configmodel.Config{N: n, Exponent: k, MinDeg: 2}.GenerateGiant(r)
+		return g, err
+	}
+	probe, err := gen(rng.New(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: power-law k=%.1f giant component, %d peers, %d links\n\n",
+		k, probe.NumVertices(), probe.NumEdges())
+
+	table := &experiment.Table{
+		Title:   "P2P lookup: cost to locate a random peer's file",
+		Columns: []string{"strategy", "mean-msgs", "median", "hit-rate", "theory"},
+		Notes: []string{
+			"oracle-based strategies count knowledge requests; percolation counts protocol messages",
+			fmt.Sprintf("%d lookups each, random querier and host", reps),
+		},
+	}
+
+	for _, tc := range []struct {
+		alg    search.Algorithm
+		theory string
+	}{
+		{search.NewFlood(), "O(m) — Gnutella flooding"},
+		{search.NewRandomWalkStrong(), fmt.Sprintf("O(n^%.2f) — Adamic walk", core.AdamicWalkExponent(k))},
+		{search.NewDegreeGreedyStrong(), fmt.Sprintf("O(n^%.2f) — Adamic greedy", core.AdamicGreedyExponent(k))},
+	} {
+		m, err := core.MeasureSearch(gen, core.SearchSpec{
+			Algorithm:    tc.alg,
+			Reps:         reps,
+			Seed:         seed,
+			RandomStart:  true,
+			RandomTarget: true,
+			Budget:       40 * n,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(tc.alg.Name(), m.Requests.Mean, m.Requests.Median, m.FoundRate, tc.theory)
+	}
+
+	// Percolation search: the host replicates its index along a √n-walk;
+	// the querier walks and percolates.
+	r := rng.New(seed + 1)
+	walk := 128
+	hits, msgs := 0, 0
+	var msgSamples []float64
+	for i := 0; i < reps; i++ {
+		host := graph.Vertex(r.IntRange(1, probe.NumVertices()))
+		replicas := percolation.Replicate(probe, r, host, walk)
+		querier := graph.Vertex(r.IntRange(1, probe.NumVertices()))
+		res, err := percolation.Query(probe, r, replicas, querier, percolation.Config{
+			QueryWalk:     walk / 2,
+			BroadcastProb: 0.25,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Hit {
+			hits++
+		}
+		msgs += res.Messages
+		msgSamples = append(msgSamples, float64(res.Messages))
+	}
+	median := msgSamples[len(msgSamples)/2]
+	table.AddRow("percolation-search", float64(msgs)/float64(reps), median,
+		float64(hits)/float64(reps), "sublinear w/ replication — Sarshar")
+
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Reading: high-degree routing needs orders of magnitude fewer messages")
+	fmt.Println("than flooding, and percolation search trades replication storage for")
+	fmt.Println("query traffic — the two classic answers to unstructured P2P lookup.")
+}

@@ -1,0 +1,76 @@
+// Quickstart: generate a Móri scale-free graph, search for its youngest
+// vertex under the weak model of local knowledge, and compare the
+// measured cost against the paper's Ω(√n) lower bound.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"scalefree/internal/core"
+	"scalefree/internal/graph"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+	"scalefree/internal/search"
+)
+
+func main() {
+	const (
+		n    = 8192
+		p    = 0.5
+		seed = 42
+	)
+
+	// 1. Generate one merged Móri graph (m = 2 out-edges per vertex).
+	cfg := mori.Config{N: n, M: 2, P: p}
+	g, err := cfg.Generate(rng.New(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated Móri graph: n=%d, m=%d edges, max degree %d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	// 2. Search for the youngest vertex n from vertex 1, through the
+	// weak-model oracle (the algorithm never touches the graph
+	// directly; the shuffled variant hides edge insertion order, per
+	// the paper's model).
+	oracle, err := search.NewOracleShuffled(g, 1, graph.Vertex(n), search.Weak, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	algo := search.NewDegreeGreedyWeak()
+	res, err := algo.Search(oracle, rng.New(seed+1), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path, err := oracle.FoundPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s found vertex %d after %d requests (witness path length %d)\n",
+		algo.Name(), n, res.Requests, len(path)-1)
+
+	// 3. The paper's lower bound: no algorithm can beat |V|·P(E)/2.
+	bound, err := core.Theorem1Bound(n, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Theorem 1 bound: any weak-model algorithm needs >= %.1f expected requests (≈ e^{-(1-p)}·√n/2; √n = %.0f)\n",
+		bound, math.Sqrt(n))
+
+	// 4. Replicated measurement: the expectation, not one lucky run.
+	m, err := core.MeasureSearch(core.MoriGen(cfg), core.SearchSpec{
+		Algorithm: algo,
+		Reps:      20,
+		Seed:      seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("over %d fresh graphs: mean %.1f ± %.1f requests (median %.0f) — above the bound: %v\n",
+		m.Requests.N, m.Requests.Mean, m.Requests.StdErr, m.Requests.Median,
+		m.Requests.Mean >= bound)
+}

@@ -1,0 +1,139 @@
+// Package configmodel implements the Molloy–Reed configuration model
+// with power-law degree sequences — the "pure random graph" family the
+// paper discusses under related work, and the substrate on which Adamic
+// et al. analyse high-degree search (experiment E8).
+//
+// Unlike the evolving models, degrees of neighbors here are independent
+// (no age/degree correlation), which is exactly the structural
+// difference the paper highlights: mean-field analyses that work on
+// configuration-model graphs break on preferential-attachment graphs.
+//
+// Generation: sample a degree sequence from a discrete bounded power
+// law P(δ) ∝ δ^(−k), fix parity, then pair half-edge stubs uniformly at
+// random. The Simple option erases self-loops and duplicate edges
+// afterwards (the "erased configuration model"), which distorts the
+// degree sequence only at the extreme tail.
+package configmodel
+
+import (
+	"fmt"
+	"math"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/rng"
+)
+
+// Config describes a power-law configuration-model graph.
+type Config struct {
+	N        int     // number of vertices, >= 2
+	Exponent float64 // power-law exponent k > 1 (papers of interest use 2 < k < 3)
+	MinDeg   int     // minimum degree, >= 1 (default 1)
+	MaxDeg   int     // maximum degree; 0 selects the natural cutoff n^(1/(k-1))
+	Simple   bool    // erase self-loops and duplicate edges
+}
+
+// Validate checks the configuration and returns the effective degree
+// cutoff.
+func (c Config) Validate() (maxDeg int, err error) {
+	if c.N < 2 {
+		return 0, fmt.Errorf("configmodel: N = %d < 2", c.N)
+	}
+	if !(c.Exponent > 1) {
+		return 0, fmt.Errorf("configmodel: exponent %v must exceed 1", c.Exponent)
+	}
+	minDeg := c.MinDeg
+	if minDeg == 0 {
+		minDeg = 1
+	}
+	if minDeg < 1 {
+		return 0, fmt.Errorf("configmodel: MinDeg = %d < 1", c.MinDeg)
+	}
+	maxDeg = c.MaxDeg
+	if maxDeg == 0 {
+		maxDeg = int(math.Pow(float64(c.N), 1/(c.Exponent-1)))
+	}
+	if maxDeg > c.N-1 {
+		maxDeg = c.N - 1
+	}
+	if maxDeg < minDeg {
+		return 0, fmt.Errorf("configmodel: effective degree range [%d, %d] is empty", minDeg, maxDeg)
+	}
+	return maxDeg, nil
+}
+
+// Generate draws a configuration-model graph. Every edge is recorded
+// once with an arbitrary orientation; searching uses the undirected
+// view. The graph may be disconnected; use GiantComponent for search
+// workloads.
+func (c Config) Generate(r *rng.RNG) (*graph.Graph, error) {
+	maxDeg, err := c.Validate()
+	if err != nil {
+		return nil, err
+	}
+	minDeg := c.MinDeg
+	if minDeg == 0 {
+		minDeg = 1
+	}
+	pl, err := rng.NewPowerLaw(c.Exponent, minDeg, maxDeg)
+	if err != nil {
+		return nil, fmt.Errorf("configmodel: building degree sampler: %w", err)
+	}
+	degs := make([]int, c.N+1)
+	total := 0
+	for v := 1; v <= c.N; v++ {
+		degs[v] = pl.Sample(r)
+		total += degs[v]
+	}
+	if total%2 == 1 {
+		// Fix parity by granting one extra stub to a uniform vertex.
+		v := r.IntRange(1, c.N)
+		degs[v]++
+		total++
+	}
+
+	stubs := make([]graph.Vertex, 0, total)
+	for v := 1; v <= c.N; v++ {
+		for i := 0; i < degs[v]; i++ {
+			stubs = append(stubs, graph.Vertex(v))
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	b := graph.NewBuilder(c.N, total/2)
+	b.AddVertices(c.N)
+	if c.Simple {
+		seen := make(map[[2]graph.Vertex]bool, total/2)
+		for i := 0; i+1 < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				continue
+			}
+			key := [2]graph.Vertex{u, v}
+			if u > v {
+				key = [2]graph.Vertex{v, u}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			b.AddEdge(u, v)
+		}
+	} else {
+		for i := 0; i+1 < len(stubs); i += 2 {
+			b.AddEdge(stubs[i], stubs[i+1])
+		}
+	}
+	return b.Freeze(), nil
+}
+
+// GenerateGiant draws a configuration-model graph and extracts its
+// largest connected component, relabelled 1..size. It returns the
+// component and the original identities (origID[newID]).
+func (c Config) GenerateGiant(r *rng.RNG) (*graph.Graph, []graph.Vertex, error) {
+	g, err := c.Generate(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, orig := graph.LargestComponent(g)
+	return sub, orig, nil
+}

@@ -1,0 +1,147 @@
+package configmodel
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/rng"
+	"scalefree/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{N: 1, Exponent: 2.5},
+		{N: 100, Exponent: 1},
+		{N: 100, Exponent: 0.9},
+		{N: 100, Exponent: 2.5, MinDeg: -1},
+		{N: 100, Exponent: 2.5, MinDeg: 50, MaxDeg: 10},
+	}
+	for i, c := range bad {
+		if _, err := c.Validate(); err == nil {
+			t.Errorf("case %d: config %+v validated", i, c)
+		}
+	}
+	maxDeg, err := (Config{N: 10000, Exponent: 2.5}).Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Natural cutoff n^(1/(k-1)) = 10000^(2/3) ≈ 464.
+	if maxDeg < 300 || maxDeg > 600 {
+		t.Errorf("natural cutoff = %d, want ≈464", maxDeg)
+	}
+}
+
+func TestGenerateDegreeSumEven(t *testing.T) {
+	g, err := Config{N: 5001, Exponent: 2.3}.Generate(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, d := range g.Degrees()[1:] {
+		sum += d
+	}
+	if sum%2 != 0 {
+		t.Fatalf("degree sum %d is odd", sum)
+	}
+	if sum != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2·edges %d", sum, 2*g.NumEdges())
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := Config{N: 2000, Exponent: 2.5}
+	a, err := cfg.Generate(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.Generate(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestSimpleVariantHasNoLoopsOrMultiEdges(t *testing.T) {
+	g, err := Config{N: 3000, Exponent: 2.2, Simple: true}.Generate(rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumSelfLoops() != 0 {
+		t.Errorf("simple graph has %d self-loops", g.NumSelfLoops())
+	}
+	seen := map[[2]graph.Vertex]bool{}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Endpoints(graph.EdgeID(e))
+		key := [2]graph.Vertex{u, v}
+		if u > v {
+			key = [2]graph.Vertex{v, u}
+		}
+		if seen[key] {
+			t.Fatalf("duplicate edge (%d, %d)", u, v)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDegreeDistributionMatchesExponent(t *testing.T) {
+	k := 2.5
+	g, err := Config{N: 30000, Exponent: k, MinDeg: 1}.Generate(rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := stats.FitPowerLaw(g.Degrees()[1:], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-k) > 0.2 {
+		t.Errorf("fitted exponent %v (se %v), want ~%v", fit.Alpha, fit.StdErr, k)
+	}
+}
+
+func TestGiantComponentIsLargeAndConnected(t *testing.T) {
+	// With k = 2.3 and min degree 1 the giant component holds most
+	// vertices.
+	sub, orig, err := Config{N: 10000, Exponent: 2.3}.GenerateGiant(rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsConnected(sub) {
+		t.Fatal("giant component not connected")
+	}
+	if sub.NumVertices() < 5000 {
+		t.Errorf("giant component only %d of 10000 vertices", sub.NumVertices())
+	}
+	if len(orig) != sub.NumVertices()+1 {
+		t.Errorf("origID length %d, want %d", len(orig), sub.NumVertices()+1)
+	}
+	// Mapping must be strictly increasing (relabelling preserves order).
+	for i := 2; i < len(orig); i++ {
+		if orig[i] <= orig[i-1] {
+			t.Fatalf("origID not increasing at %d: %d <= %d", i, orig[i], orig[i-1])
+		}
+	}
+}
+
+func TestMinDegTwoRaisesConnectivity(t *testing.T) {
+	sub, _, err := Config{N: 5000, Exponent: 2.5, MinDeg: 2}.GenerateGiant(rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() < 4500 {
+		t.Errorf("min-degree-2 giant component only %d of 5000", sub.NumVertices())
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := Config{N: 1 << 13, Exponent: 2.3}
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Generate(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cooperfrieze
+
+import (
+	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/rng"
+)
+
+func TestArrivalOutDegConsistency(t *testing.T) {
+	// Every vertex's final out-degree is its arrival out-degree plus
+	// any Old-step emissions, so arrival <= final and the totals square
+	// with the edge count.
+	cfg := defaultConfig(600)
+	cfg.Alpha = 0.6
+	res, err := cfg.Generate(rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	arrivalTotal := 0
+	for v := graph.Vertex(1); int(v) <= 600; v++ {
+		arr := res.ArrivalOutDeg[v]
+		if arr < 1 {
+			t.Fatalf("vertex %d arrived with %d edges", v, arr)
+		}
+		if got := g.OutDegree(v); got < arr {
+			t.Fatalf("vertex %d: final out-degree %d below arrival %d", v, got, arr)
+		}
+		arrivalTotal += arr
+	}
+	oldEdges := g.NumEdges() - arrivalTotal
+	if oldEdges < 0 {
+		t.Fatalf("arrival edges %d exceed total %d", arrivalTotal, g.NumEdges())
+	}
+	// With unit out-degree distributions, Old steps emit exactly one
+	// edge each.
+	if oldEdges != res.OldSteps {
+		t.Errorf("old edges %d != old steps %d", oldEdges, res.OldSteps)
+	}
+}
+
+func TestArrivalOutDegMatchesQDistribution(t *testing.T) {
+	cfg := defaultConfig(400)
+	cfg.Alpha = 1
+	cfg.QWeights = []float64{0, 1} // always two edges
+	res, err := cfg.Generate(rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 2; v <= 400; v++ {
+		if res.ArrivalOutDeg[v] != 2 {
+			t.Fatalf("vertex %d arrival out-degree %d, want 2", v, res.ArrivalOutDeg[v])
+		}
+	}
+	if res.ArrivalOutDeg[1] != 1 {
+		t.Errorf("seed arrival out-degree %d, want 1 (the loop)", res.ArrivalOutDeg[1])
+	}
+}

@@ -1,0 +1,246 @@
+// Package core is the public face of the reproduction: it ties the
+// graph models, the local-knowledge search framework, and the
+// vertex-equivalence machinery together into the measurements and
+// theorem-level bounds that the paper states.
+//
+// The three central entry points are:
+//
+//   - MeasureSearch — expected-request measurement of any search
+//     algorithm over replicated random graphs;
+//   - MeasureScaling — the same measurement swept over graph sizes,
+//     with the scaling exponent fitted on log-log axes;
+//   - Theorem1Bound / Theorem2Bound / StrongModelExponent — the paper's
+//     lower bounds, evaluated exactly (Móri) or by Monte Carlo
+//     (Cooper–Frieze), against which the measurements are compared.
+package core
+
+import (
+	"fmt"
+
+	"scalefree/internal/cooperfrieze"
+	"scalefree/internal/equivalence"
+	"scalefree/internal/graph"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+	"scalefree/internal/search"
+	"scalefree/internal/stats"
+)
+
+// GraphGen produces a fresh random graph for one replication.
+type GraphGen func(r *rng.RNG) (*graph.Graph, error)
+
+// MoriGen adapts a Móri configuration to a GraphGen.
+func MoriGen(cfg mori.Config) GraphGen {
+	return func(r *rng.RNG) (*graph.Graph, error) {
+		return cfg.Generate(r)
+	}
+}
+
+// CooperFriezeGen adapts a Cooper–Frieze configuration to a GraphGen.
+func CooperFriezeGen(cfg cooperfrieze.Config) GraphGen {
+	return func(r *rng.RNG) (*graph.Graph, error) {
+		res, err := cfg.Generate(r)
+		if err != nil {
+			return nil, err
+		}
+		return res.Graph, nil
+	}
+}
+
+// SearchSpec describes one search measurement.
+type SearchSpec struct {
+	Algorithm search.Algorithm
+	// Start is the initial vertex; 0 selects vertex 1 (the oldest).
+	Start graph.Vertex
+	// Target is the sought vertex; 0 selects the youngest vertex n,
+	// the paper's hard target.
+	Target graph.Vertex
+	// RandomStart draws a fresh uniform start vertex per replication
+	// (overrides Start). Used by workloads without an age structure,
+	// e.g. configuration-model graphs.
+	RandomStart bool
+	// RandomTarget draws a fresh uniform target per replication,
+	// distinct from the start (overrides Target).
+	RandomTarget bool
+	// Budget caps requests per run (0 = unlimited). Runs that exhaust
+	// the budget contribute Budget requests to the mean (censoring
+	// makes the measured mean a *lower* bound on the true expectation,
+	// which is the safe direction when validating lower bounds).
+	Budget int
+	// Reps is the number of independent graph+search replications.
+	Reps int
+	// Seed derives all per-replication randomness.
+	Seed uint64
+}
+
+func (s SearchSpec) validate() error {
+	if s.Algorithm == nil {
+		return fmt.Errorf("core: SearchSpec.Algorithm is nil")
+	}
+	if s.Reps < 1 {
+		return fmt.Errorf("core: SearchSpec.Reps = %d < 1", s.Reps)
+	}
+	return nil
+}
+
+// Measurement is the outcome of a replicated search measurement.
+type Measurement struct {
+	Algorithm string
+	Knowledge search.Knowledge
+	Requests  stats.Summary // over per-run request counts (censored at Budget)
+	FoundRate float64
+	// Samples holds the per-replication request counts, for downstream
+	// significance tests (e.g. Welch comparisons between algorithms).
+	Samples []float64
+}
+
+// MeasureSearch runs spec.Reps independent replications: each draws a
+// fresh graph from gen and runs the algorithm once. Graph generation
+// and the search consume independent RNG streams derived from Seed, so
+// algorithm randomness never perturbs the graph distribution.
+func MeasureSearch(gen GraphGen, spec SearchSpec) (Measurement, error) {
+	if err := spec.validate(); err != nil {
+		return Measurement{}, err
+	}
+	requests := make([]float64, 0, spec.Reps)
+	found := 0
+	for rep := 0; rep < spec.Reps; rep++ {
+		gr := rng.New(rng.DeriveSeed(spec.Seed, uint64(2*rep)))
+		sr := rng.New(rng.DeriveSeed(spec.Seed, uint64(2*rep+1)))
+		g, err := gen(gr)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("core: generating graph for rep %d: %w", rep, err)
+		}
+		start := spec.Start
+		if start == 0 {
+			start = 1
+		}
+		if spec.RandomStart {
+			start = graph.Vertex(sr.IntRange(1, g.NumVertices()))
+		}
+		target := spec.Target
+		if target == 0 {
+			target = graph.Vertex(g.NumVertices())
+		}
+		if spec.RandomTarget {
+			if g.NumVertices() < 2 {
+				return Measurement{}, fmt.Errorf("core: rep %d: graph too small for a distinct random target", rep)
+			}
+			target = graph.Vertex(sr.IntRange(1, g.NumVertices()-1))
+			if target >= start {
+				target++
+			}
+		}
+		// The shuffled oracle censors slot order so identities leak only
+		// through the answers the paper's model defines.
+		o, err := search.NewOracleShuffled(g, start, target, spec.Algorithm.Knowledge(),
+			rng.DeriveSeed(spec.Seed, uint64(3*rep+2)))
+		if err != nil {
+			return Measurement{}, fmt.Errorf("core: rep %d: %w", rep, err)
+		}
+		res, err := spec.Algorithm.Search(o, sr, spec.Budget)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("core: rep %d: %w", rep, err)
+		}
+		if res.Found {
+			found++
+		}
+		requests = append(requests, float64(res.Requests))
+	}
+	return Measurement{
+		Algorithm: spec.Algorithm.Name(),
+		Knowledge: spec.Algorithm.Knowledge(),
+		Requests:  stats.Summarize(requests),
+		FoundRate: float64(found) / float64(spec.Reps),
+		Samples:   requests,
+	}, nil
+}
+
+// ScalingPoint is one size of a scaling sweep.
+type ScalingPoint struct {
+	N           int
+	Measurement Measurement
+	Bound       float64 // theorem lower bound at this size (0 if none)
+}
+
+// ScalingResult is a full sweep plus the fitted exponent of
+// E[requests] ~ c·n^e.
+type ScalingResult struct {
+	Algorithm string
+	Points    []ScalingPoint
+	Fit       stats.ScalingFit
+}
+
+// MeasureScaling sweeps MeasureSearch over sizes. genFor returns the
+// generator for a given n; boundFor (optional) supplies the theorem
+// bound recorded next to each point.
+func MeasureScaling(sizes []int, genFor func(n int) GraphGen, boundFor func(n int) (float64, error), spec SearchSpec) (ScalingResult, error) {
+	if len(sizes) < 2 {
+		return ScalingResult{}, fmt.Errorf("core: scaling sweep needs at least 2 sizes, got %d", len(sizes))
+	}
+	out := ScalingResult{Algorithm: spec.Algorithm.Name()}
+	var ns, means []float64
+	for i, n := range sizes {
+		pointSpec := spec
+		pointSpec.Seed = rng.DeriveSeed(spec.Seed, uint64(1000+i))
+		m, err := MeasureSearch(genFor(n), pointSpec)
+		if err != nil {
+			return ScalingResult{}, fmt.Errorf("core: size %d: %w", n, err)
+		}
+		point := ScalingPoint{N: n, Measurement: m}
+		if boundFor != nil {
+			b, err := boundFor(n)
+			if err != nil {
+				return ScalingResult{}, fmt.Errorf("core: bound at size %d: %w", n, err)
+			}
+			point.Bound = b
+		}
+		out.Points = append(out.Points, point)
+		ns = append(ns, float64(n))
+		means = append(means, m.Requests.Mean)
+	}
+	fit, err := stats.FitScaling(ns, means)
+	if err != nil {
+		return ScalingResult{}, fmt.Errorf("core: fitting scaling: %w", err)
+	}
+	out.Fit = fit
+	return out, nil
+}
+
+// Theorem1Bound returns the paper's Theorem-1 lower bound on the
+// expected number of weak-model requests to find vertex n in the Móri
+// model with parameter p: |V|·P(E_{a,b})/2 with the canonical window
+// and the exact event probability. The bound is Ω(√n) because
+// P(E) >= e^{-(1-p)} (Lemma 3).
+func Theorem1Bound(n int, p float64) (float64, error) {
+	return equivalence.Lemma1Bound(n, p)
+}
+
+// StrongModelExponent returns the exponent of the paper's Theorem-1
+// strong-model bound Ω(n^{1/2-p-ε}), i.e. max(0, 1/2 - p). It is
+// non-trivial only for p < 1/2, the regime where the Móri maximum
+// degree n^p stays below the √n equivalence-set size.
+func StrongModelExponent(p float64) float64 {
+	if e := 0.5 - p; e > 0 {
+		return e
+	}
+	return 0
+}
+
+// Theorem2Bound returns the Theorem-2 lower bound for a Cooper–Frieze
+// configuration (target = youngest vertex n = cfg.N), with the event
+// probability estimated from mcReps Monte-Carlo generations.
+func Theorem2Bound(cfg cooperfrieze.Config, mcReps int, seed uint64) (float64, error) {
+	bound, _, _, err := equivalence.Lemma1BoundCF(rng.New(seed), cfg, mcReps)
+	return bound, err
+}
+
+// AdamicGreedyExponent returns 2(1 - 2/k), the Adamic et al. scaling
+// exponent of high-degree search on power-law graphs with exponent k,
+// and AdamicWalkExponent returns 3(1 - 2/k) for the random walk. Both
+// require 2 < k < 3 to be meaningful.
+func AdamicGreedyExponent(k float64) float64 { return 2 * (1 - 2/k) }
+
+// AdamicWalkExponent returns the Adamic et al. random-walk exponent;
+// see AdamicGreedyExponent.
+func AdamicWalkExponent(k float64) float64 { return 3 * (1 - 2/k) }

@@ -1,0 +1,29 @@
+package equivalence_test
+
+import (
+	"fmt"
+
+	"scalefree/internal/equivalence"
+)
+
+// The canonical Theorem-1 window for target n = 10001 holds ~√n
+// vertices, and its event probability is computed exactly — no
+// simulation involved.
+func ExampleExactEventProb() {
+	a, b, _ := equivalence.Window(10001)
+	prob, _ := equivalence.ExactEventProb(0.5, a, b)
+	floor := equivalence.Lemma3Bound(0.5)
+	fmt.Printf("window (%d, %d], |V| = %d\n", a, b, b-a)
+	fmt.Printf("P(E) = %.4f >= floor %.4f: %v\n", prob, floor, prob >= floor)
+	// Output:
+	// window (10000, 10099], |V| = 99
+	// P(E) = 0.7855 >= floor 0.6065: true
+}
+
+// Lemma 1 turns the window into a lower bound on expected requests.
+func ExampleLemma1Bound() {
+	bound, _ := equivalence.Lemma1Bound(10001, 0.5)
+	fmt.Printf("any weak-model searcher needs >= %.1f expected requests\n", bound)
+	// Output:
+	// any weak-model searcher needs >= 38.9 expected requests
+}

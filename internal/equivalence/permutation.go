@@ -1,0 +1,165 @@
+package equivalence
+
+import (
+	"fmt"
+	"math"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/mori"
+)
+
+// WindowPermutation builds a full permutation of [1, size] that acts as
+// perm on the window (a, b] and as the identity elsewhere. perm must be
+// a permutation of {0, ..., b-a-1}: window vertex a+1+i maps to
+// a+1+perm[i].
+func WindowPermutation(size, a, b int, perm []int) ([]graph.Vertex, error) {
+	if err := validateWindow(a, b, size); err != nil {
+		return nil, err
+	}
+	if len(perm) != b-a {
+		return nil, fmt.Errorf("equivalence: perm length %d, window size %d", len(perm), b-a)
+	}
+	sigma := make([]graph.Vertex, size+1)
+	for v := 1; v <= size; v++ {
+		sigma[v] = graph.Vertex(v)
+	}
+	seen := make([]bool, b-a)
+	for i, p := range perm {
+		if p < 0 || p >= b-a || seen[p] {
+			return nil, fmt.Errorf("equivalence: perm %v is not a permutation of [0, %d)", perm, b-a)
+		}
+		seen[p] = true
+		sigma[a+1+i] = graph.Vertex(a + 1 + p)
+	}
+	return sigma, nil
+}
+
+// PermuteTree applies σ to a tree: edge k → father(k) becomes
+// σ(k) → σ(father(k)). It errors when the image is not a valid
+// increasing tree (some new father would be younger than its child),
+// which is exactly the case Lemma 2 excludes by conditioning on
+// E_{a,b}.
+func PermuteTree(t *mori.Tree, sigma []graph.Vertex) (*mori.Tree, error) {
+	size := t.Size()
+	if len(sigma) != size+1 {
+		return nil, fmt.Errorf("equivalence: sigma length %d for tree size %d", len(sigma), size)
+	}
+	out := &mori.Tree{P: t.P, Fathers: make([]graph.Vertex, size+1)}
+	for k := 2; k <= size; k++ {
+		child := sigma[k]
+		father := sigma[t.Father(graph.Vertex(k))]
+		if father >= child {
+			return nil, fmt.Errorf("equivalence: σ maps edge %d→%d to non-increasing %d→%d",
+				k, t.Father(graph.Vertex(k)), child, father)
+		}
+		out.Fathers[child] = father
+	}
+	if out.Fathers[2] != 1 {
+		return nil, fmt.Errorf("equivalence: σ image has fathers[2] = %d", out.Fathers[2])
+	}
+	return out, nil
+}
+
+// ForEachPermutation enumerates all permutations of {0, ..., k-1} via
+// Heap's algorithm, passing each to visit. The slice is reused; visit
+// must not retain it.
+func ForEachPermutation(k int, visit func(perm []int)) {
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(n int)
+	rec = func(n int) {
+		if n == 1 {
+			visit(perm)
+			return
+		}
+		for i := 0; i < n; i++ {
+			rec(n - 1)
+			if n%2 == 0 {
+				perm[i], perm[n-1] = perm[n-1], perm[i]
+			} else {
+				perm[0], perm[n-1] = perm[n-1], perm[0]
+			}
+		}
+	}
+	if k > 0 {
+		rec(k)
+	} else {
+		visit(perm)
+	}
+}
+
+// VerifyLemma2 exhaustively verifies Lemma 2 on trees of the given
+// size: enumerating every tree T and every window permutation σ of
+// (a, b], it checks that
+//
+//   - σ maps the event set {T : E_{a,b}(T)} onto itself, and
+//   - P(T) = P(σ(T)) for every T satisfying E_{a,b}
+//
+// within tol. Complexity is (size-1)!·(b-a)!, so keep size <= 8.
+// It returns the number of (tree, permutation) pairs checked.
+func VerifyLemma2(size, a, b int, p, tol float64) (checked int, err error) {
+	if err := validateWindow(a, b, size); err != nil {
+		return 0, err
+	}
+	var firstErr error
+	treeErr := mori.EnumerateTrees(size, func(fathers []graph.Vertex) {
+		if firstErr != nil {
+			return
+		}
+		t := &mori.Tree{P: p, Fathers: append([]graph.Vertex(nil), fathers...)}
+		holds, err := CheckEvent(t, a, b)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if !holds {
+			return
+		}
+		probT, err := mori.TreeProb(t.Fathers, p)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		ForEachPermutation(b-a, func(perm []int) {
+			if firstErr != nil {
+				return
+			}
+			sigma, err := WindowPermutation(size, a, b, perm)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			image, err := PermuteTree(t, sigma)
+			if err != nil {
+				firstErr = fmt.Errorf("equivalence: σ broke an E-tree: %w", err)
+				return
+			}
+			imageHolds, err := CheckEvent(image, a, b)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if !imageHolds {
+				firstErr = fmt.Errorf("equivalence: σ(%v) left the event set", t.Fathers)
+				return
+			}
+			probImage, err := mori.TreeProb(image.Fathers, p)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if math.Abs(probT-probImage) > tol {
+				firstErr = fmt.Errorf("equivalence: P(T)=%v but P(σT)=%v for T=%v perm=%v",
+					probT, probImage, t.Fathers, perm)
+				return
+			}
+			checked++
+		})
+	})
+	if treeErr != nil {
+		return checked, treeErr
+	}
+	return checked, firstErr
+}

@@ -1,0 +1,179 @@
+package equivalence
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+)
+
+// randomEWindowTree draws a Móri tree of the given size conditioned on
+// E_{a,b} by rejection.
+func randomEWindowTree(t *testing.T, r *rng.RNG, size, a, b int, p float64) *mori.Tree {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		tree, err := mori.GenerateTree(r, size, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := CheckEvent(tree, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			return tree
+		}
+	}
+	t.Fatal("rejection sampling starved")
+	return nil
+}
+
+func TestPermutationCompositionLaw(t *testing.T) {
+	// σ(τ(T)) must equal (σ∘τ)(T) for window permutations acting on
+	// E-conditioned trees.
+	const size, a, b = 20, 12, 16
+	const p = 0.5
+	r := rng.New(71)
+	for trial := 0; trial < 30; trial++ {
+		tree := randomEWindowTree(t, r, size, a, b, p)
+		permA := r.Perm(b - a)
+		permB := r.Perm(b - a)
+		sigma, err := WindowPermutation(size, a, b, permA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau, err := WindowPermutation(size, a, b, permB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compose: (σ∘τ)(v) = σ(τ(v)).
+		comp := make([]graph.Vertex, size+1)
+		for v := 1; v <= size; v++ {
+			comp[v] = sigma[tau[v]]
+		}
+		viaTau, err := PermuteTree(tree, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoStep, err := PermuteTree(viaTau, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneStep, err := PermuteTree(tree, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= size; k++ {
+			if twoStep.Fathers[k] != oneStep.Fathers[k] {
+				t.Fatalf("composition law broken at vertex %d: %v vs %v", k, twoStep.Fathers, oneStep.Fathers)
+			}
+		}
+	}
+}
+
+func TestPermutationPreservesEventAndProbability(t *testing.T) {
+	// Randomized version of Lemma 2 on trees too large to enumerate.
+	const size, a, b = 40, 30, 35
+	const p = 0.6
+	r := rng.New(73)
+	for trial := 0; trial < 25; trial++ {
+		tree := randomEWindowTree(t, r, size, a, b, p)
+		perm := r.Perm(b - a)
+		sigma, err := WindowPermutation(size, a, b, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		image, err := PermuteTree(tree, sigma)
+		if err != nil {
+			t.Fatalf("σ broke an E-tree: %v", err)
+		}
+		ok, err := CheckEvent(image, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("σ image left the event set")
+		}
+		lp1, err := mori.TreeLogProb(tree.Fathers, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp2, err := mori.TreeLogProb(image.Fathers, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lp1-lp2) > 1e-9 {
+			t.Fatalf("log-probabilities differ: %v vs %v", lp1, lp2)
+		}
+	}
+}
+
+func TestEventProbIndependentOfFutureGrowth(t *testing.T) {
+	// E_{a,b} only involves vertices up to b, so the Monte-Carlo
+	// estimate must not shift when the generated tree keeps growing
+	// past b.
+	const a, b = 30, 35
+	const p = 0.5
+	exact, err := ExactEventProb(p, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(79)
+	const reps = 4000
+	for _, size := range []int{b, b + 30} {
+		hits := 0
+		for i := 0; i < reps; i++ {
+			tree, err := mori.GenerateTree(r, size, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := CheckEvent(tree, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				hits++
+			}
+		}
+		got := float64(hits) / reps
+		if math.Abs(got-exact) > 0.03 {
+			t.Errorf("size %d: P̂(E) = %v vs exact %v", size, got, exact)
+		}
+	}
+}
+
+func TestWindowPermutationIsBijection(t *testing.T) {
+	check := func(seed uint64, sizeRaw, winRaw uint8) bool {
+		size := int(sizeRaw%30) + 10
+		win := int(winRaw%5) + 2
+		a := size - win - 1
+		if a < 1 {
+			return true
+		}
+		b := a + win
+		r := rng.New(seed)
+		sigma, err := WindowPermutation(size, a, b, r.Perm(win))
+		if err != nil {
+			return false
+		}
+		seen := make(map[graph.Vertex]bool, size)
+		for v := 1; v <= size; v++ {
+			img := sigma[v]
+			if img < 1 || int(img) > size || seen[img] {
+				return false
+			}
+			seen[img] = true
+			// Identity outside the window.
+			if (v <= a || v > b) && img != graph.Vertex(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"scalefree/internal/rng"
+)
+
+// Config controls the execution scale of an experiment run.
+type Config struct {
+	// Seed derives all experiment randomness.
+	Seed uint64
+	// Scale multiplies workload sizes and replication counts. 1.0 runs
+	// the full EXPERIMENTS.md workload; tests and benches use smaller
+	// values. Values <= 0 default to 1.
+	Scale float64
+}
+
+// scaleInt scales n, keeping at least min.
+func (c Config) scaleInt(n, min int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n) * s)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// sizes returns a geometric size sweep {base, base·2, ...} of count
+// points, scaled.
+func (c Config) sizes(base, count int) []int {
+	out := make([]int, count)
+	n := c.scaleInt(base, 64)
+	for i := range out {
+		out[i] = n
+		n *= 2
+	}
+	return out
+}
+
+// seed derives a named sub-seed so experiments stay independent.
+func (c Config) seed(stream uint64) uint64 {
+	return rng.DeriveSeed(c.Seed, stream)
+}
+
+// Experiment is one reproducible unit of the evaluation.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) ([]Table, error)
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{ID: "E1", Title: "Theorem 1 (weak model): Ω(√n) search cost in Móri graphs", Run: RunE1},
+		{ID: "E2", Title: "Theorem 1 (strong model): Ω(n^(1/2-p)) for p < 1/2", Run: RunE2},
+		{ID: "E3", Title: "Theorem 2: Ω(√n) search cost in Cooper–Frieze graphs (weak model)", Run: RunE3},
+		{ID: "E4", Title: "Lemmas 2-3: equivalence event probability, exact vs MC vs e^{-(1-p)}", Run: RunE4},
+		{ID: "E5", Title: "Móri max degree ~ n^p (vs Barabási–Albert n^(1/2))", Run: RunE5},
+		{ID: "E6", Title: "Degree distributions: power-law exponents per model", Run: RunE6},
+		{ID: "E7", Title: "Logarithmic distances: mean distance and diameter vs log n", Run: RunE7},
+		{ID: "E8", Title: "Adamic et al.: high-degree search vs random walk on power-law graphs", Run: RunE8},
+		{ID: "E9", Title: "Kleinberg navigability: greedy routing r-sweep vs Móri id-greedy", Run: RunE9},
+		{ID: "E10", Title: "Sarshar et al.: percolation search replication/broadcast sweep", Run: RunE10},
+		{ID: "E11", Title: "Extension: non-searchability of uniform attachment (p = 0)", Run: RunE11},
+	}
+	sort.Slice(exps, func(i, j int) bool {
+		// Numeric ID ordering: E2 before E10.
+		return idNum(exps[i].ID) < idNum(exps[j].ID)
+	})
+	return exps
+}
+
+func idNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

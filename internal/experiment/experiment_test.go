@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bee"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("x", 1.5)
+	tab.AddRow(12345, "y")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a", "bee", "1.500", "12345", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"x", "y"}}
+	tab.AddRow("plain", `with,comma "quoted"`)
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "x,y\nplain,\"with,comma \"\"quoted\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.5:    "3.500",
+		1234.5: "1234.5",
+		-0.25:  "-0.250",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 11 {
+		t.Fatalf("registry has %d experiments, want 11", len(reg))
+	}
+	for i, e := range reg {
+		if want := i + 1; idNum(e.ID) != want {
+			t.Errorf("registry[%d] = %s, want E%d", i, e.ID, want)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E7"); !ok {
+		t.Error("ByID(E7) not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) found")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	c := Config{Scale: 0.1}
+	if got := c.scaleInt(1000, 10); got != 100 {
+		t.Errorf("scaleInt = %d, want 100", got)
+	}
+	if got := c.scaleInt(50, 10); got != 10 {
+		t.Errorf("scaleInt floor = %d, want 10", got)
+	}
+	if got := (Config{}).scaleInt(70, 10); got != 70 {
+		t.Errorf("unit scale = %d, want 70", got)
+	}
+	sizes := c.sizes(640, 3)
+	if len(sizes) != 3 || sizes[0] != 64 || sizes[1] != 128 || sizes[2] != 256 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment at a tiny scale: the
+// integration test that the whole pipeline — models, oracles,
+// algorithms, statistics, rendering — works end to end.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	cfg := Config{Seed: 2024, Scale: 0.05}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: table %q is empty", e.ID, tab.Title)
+				}
+				var buf bytes.Buffer
+				if err := tab.Render(&buf); err != nil {
+					t.Errorf("%s: render: %v", e.ID, err)
+				}
+				if err := tab.CSV(&buf); err != nil {
+					t.Errorf("%s: csv: %v", e.ID, err)
+				}
+			}
+		})
+	}
+}

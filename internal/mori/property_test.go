@@ -1,0 +1,84 @@
+package mori
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/rng"
+)
+
+func TestMergedGraphInvariantsProperty(t *testing.T) {
+	// For any (n, m, p): the merged graph has n vertices, n·m−1 edges,
+	// degree sum 2(n·m−1), stays connected, and block identities map
+	// correctly.
+	check := func(seed uint64, nRaw, mRaw uint8, pRaw uint16) bool {
+		n := int(nRaw%40) + 2
+		m := int(mRaw%4) + 1
+		p := float64(pRaw%1001) / 1000
+		cfg := Config{N: n, M: m, P: p}
+		g, err := cfg.Generate(rng.New(seed))
+		if err != nil {
+			return false
+		}
+		if g.NumVertices() != n || g.NumEdges() != n*m-1 {
+			return false
+		}
+		sum := 0
+		for v := graph.Vertex(1); v <= graph.Vertex(n); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*(n*m-1) && graph.IsConnected(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergedIDConsistencyProperty(t *testing.T) {
+	// Each merged edge must connect the blocks of its tree endpoints.
+	tree, err := GenerateTree(rng.New(21), 120, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{2, 3, 4, 5, 6} {
+		if 120%m != 0 {
+			continue
+		}
+		g, err := Merge(tree, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 2; k <= 120; k++ {
+			e := graph.EdgeID(k - 2)
+			from, to := g.Endpoints(e)
+			wantFrom := graph.Vertex((k + m - 1) / m)
+			wantTo := graph.Vertex((int(tree.Father(graph.Vertex(k))) + m - 1) / m)
+			if from != wantFrom || to != wantTo {
+				t.Fatalf("m=%d edge %d: (%d,%d), want (%d,%d)", m, e, from, to, wantFrom, wantTo)
+			}
+		}
+	}
+}
+
+func TestTreeProbMatchesGeneratorLikelihoodProperty(t *testing.T) {
+	// Replay check: the log-probability of a generated tree must be
+	// finite and negative (it is a product of probabilities < 1 for
+	// size > 2), and exp of it must never exceed 1.
+	check := func(seed uint64, sizeRaw uint8, pRaw uint16) bool {
+		size := int(sizeRaw%30) + 3
+		p := float64(pRaw%1001) / 1000
+		tree, err := GenerateTree(rng.New(seed), size, p)
+		if err != nil {
+			return false
+		}
+		lp, err := TreeLogProb(tree.Fathers, p)
+		if err != nil {
+			return false
+		}
+		return lp <= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

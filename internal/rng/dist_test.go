@@ -1,0 +1,177 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPowerLawValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		k        float64
+		min, max int
+	}{
+		{"min below one", 2.5, 0, 10},
+		{"empty range", 2.5, 5, 4},
+		{"exponent at one", 1.0, 1, 10},
+		{"exponent below one", 0.5, 1, 10},
+		{"nan exponent", math.NaN(), 1, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPowerLaw(tc.k, tc.min, tc.max); err == nil {
+				t.Fatalf("NewPowerLaw(%v, %d, %d) succeeded, want error", tc.k, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+func TestPowerLawSupport(t *testing.T) {
+	pl, err := NewPowerLaw(2.3, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 20000; i++ {
+		d := pl.Sample(r)
+		if d < 2 || d > 50 {
+			t.Fatalf("sample %d out of [2, 50]", d)
+		}
+	}
+	if lo, hi := pl.Bounds(); lo != 2 || hi != 50 {
+		t.Fatalf("Bounds() = (%d, %d)", lo, hi)
+	}
+	if pl.Exponent() != 2.3 {
+		t.Fatalf("Exponent() = %v", pl.Exponent())
+	}
+}
+
+func TestPowerLawSingleton(t *testing.T) {
+	pl, err := NewPowerLaw(3, 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(2)
+	for i := 0; i < 100; i++ {
+		if d := pl.Sample(r); d != 7 {
+			t.Fatalf("singleton support sampled %d", d)
+		}
+	}
+	if math.Abs(pl.Mean()-7) > 1e-9 {
+		t.Fatalf("Mean() = %v, want 7", pl.Mean())
+	}
+}
+
+func TestPowerLawFrequencies(t *testing.T) {
+	// With k = 2 on {1..4}, P(d) ∝ 1/d²: weights 1, 1/4, 1/9, 1/16.
+	pl, err := NewPowerLaw(2, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 1 + 0.25 + 1.0/9 + 1.0/16
+	want := []float64{1 / total, 0.25 / total, (1.0 / 9) / total, (1.0 / 16) / total}
+	r := New(3)
+	const draws = 400000
+	counts := make([]int, 5)
+	for i := 0; i < draws; i++ {
+		counts[pl.Sample(r)]++
+	}
+	for d := 1; d <= 4; d++ {
+		got := float64(counts[d]) / draws
+		if math.Abs(got-want[d-1]) > 0.005 {
+			t.Errorf("P(%d) = %v, want %v", d, got, want[d-1])
+		}
+	}
+}
+
+func TestPowerLawMeanMatchesEmpirical(t *testing.T) {
+	pl, err := NewPowerLaw(2.5, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(4)
+	const draws = 300000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(pl.Sample(r))
+	}
+	got := sum / draws
+	if math.Abs(got-pl.Mean()) > 0.05*pl.Mean() {
+		t.Errorf("empirical mean %v vs exact %v", got, pl.Mean())
+	}
+}
+
+func TestNewDiscreteValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"all zero", []float64{0, 0}},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{math.NaN()}},
+		{"inf", []float64{math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewDiscrete(tc.weights); err == nil {
+				t.Fatalf("NewDiscrete(%v) succeeded, want error", tc.weights)
+			}
+		})
+	}
+}
+
+func TestDiscreteProbabilities(t *testing.T) {
+	d, err := NewDiscrete([]float64{1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len() = %d", d.Len())
+	}
+	wants := []float64{0.25, 0, 0.75}
+	for i, want := range wants {
+		if got := d.Prob(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Prob(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if d.Prob(-1) != 0 || d.Prob(3) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+
+	r := New(5)
+	counts := make([]int, 3)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	for i, want := range wants {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("empirical P(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPowerLawSample(b *testing.B) {
+	pl, err := NewPowerLaw(2.3, 1, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		pl.Sample(r)
+	}
+}

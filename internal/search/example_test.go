@@ -1,0 +1,38 @@
+package search_test
+
+import (
+	"fmt"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/search"
+)
+
+// A weak-model search on the path 1-2-3: every paid request reveals one
+// far endpoint; reading cached answers is free.
+func ExampleOracle() {
+	b := graph.NewBuilder(3, 2)
+	b.AddVertices(3)
+	b.AddEdge(2, 1)
+	b.AddEdge(3, 2)
+	g := b.Freeze()
+
+	o, _ := search.NewOracle(g, 1, 3, search.Weak)
+	v, _, _ := o.RequestEdge(1, 0) // vertex 1's only incident edge
+	fmt.Printf("request 1 revealed vertex %d (found: %v)\n", v, o.Found())
+
+	// Vertex 2's slot towards 1 is already known from the answer, so
+	// its other slot must lead onward.
+	view, _ := o.ViewOf(2)
+	for slot, w := range view.Resolved {
+		if w == graph.NoVertex {
+			v, _, _ = o.RequestEdge(2, slot)
+		}
+	}
+	fmt.Printf("request 2 revealed vertex %d (found: %v)\n", v, o.Found())
+	path, _ := o.FoundPath()
+	fmt.Printf("requests: %d, witness path: %v\n", o.Requests(), path)
+	// Output:
+	// request 1 revealed vertex 2 (found: false)
+	// request 2 revealed vertex 3 (found: true)
+	// requests: 2, witness path: [1 2 3]
+}

@@ -1,0 +1,67 @@
+package search
+
+// heap is a minimal generic binary heap ordered by less (a "less wins"
+// priority queue). It backs the greedy searchers, which need repeated
+// extract-best over the knowledge frontier with lazy invalidation.
+type heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+func newHeap[T any](less func(a, b T) bool) *heap[T] {
+	return &heap[T]{less: less}
+}
+
+func (h *heap[T]) Len() int { return len(h.items) }
+
+func (h *heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element; ok is false when empty.
+func (h *heap[T]) Pop() (x T, ok bool) {
+	if len(h.items) == 0 {
+		return x, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if len(h.items) > 0 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+func (h *heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		best := i
+		if left < n && h.less(h.items[left], h.items[best]) {
+			best = left
+		}
+		if right < n && h.less(h.items[right], h.items[best]) {
+			best = right
+		}
+		if best == i {
+			return
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+}

@@ -1,0 +1,402 @@
+// Package search implements the paper's two models of local knowledge —
+// the weak model and the strong model — as request-counting oracles,
+// together with the suite of local search algorithms measured against
+// the non-searchability lower bounds.
+//
+// All graph access by a search algorithm is mediated by an Oracle; the
+// concrete graph is never exposed, so no algorithm can cheat. Following
+// the paper's § "Modeling the searching process":
+//
+//   - In the *weak* model the searcher knows, for every discovered
+//     vertex, its identity, its degree and an opaque list of incident
+//     edge slots. A request names a discovered vertex u and one of its
+//     edge slots; the answer is the identity of the far endpoint v plus
+//     v's own degree and edge slots (v becomes discovered).
+//   - In the *strong* model a request names a vertex u adjacent to an
+//     already discovered vertex (or the start vertex); the answer is
+//     the list of u's neighbors together with their degrees (their
+//     incident edge lists). Neighbors become *visible*: identity and
+//     degree known, adjacency not yet.
+//
+// The performance measure is the number of requests made before the
+// target's identity becomes known (discovered in the weak model,
+// visible or discovered in the strong model); re-reading already
+// answered requests is free, since the paper grants the searcher
+// unlimited memory of past answers.
+package search
+
+import (
+	"errors"
+	"fmt"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/rng"
+)
+
+// Knowledge selects the local-knowledge model.
+type Knowledge int
+
+// Knowledge models, per the paper.
+const (
+	Weak Knowledge = iota + 1
+	Strong
+)
+
+// String implements fmt.Stringer.
+func (k Knowledge) String() string {
+	switch k {
+	case Weak:
+		return "weak"
+	case Strong:
+		return "strong"
+	default:
+		return fmt.Sprintf("Knowledge(%d)", int(k))
+	}
+}
+
+// ErrBudgetExhausted is returned by algorithms that stop after reaching
+// their request budget without finding the target.
+var ErrBudgetExhausted = errors.New("search: request budget exhausted")
+
+// View is the searcher's knowledge about one vertex.
+type View struct {
+	ID     graph.Vertex
+	Degree int
+	// Resolved[slot] holds the far endpoint of the vertex's incident
+	// edge in that slot, or graph.NoVertex while unknown. In the weak
+	// model slots resolve one request at a time; in the strong model a
+	// vertex's slots all resolve when the vertex itself is requested.
+	Resolved []graph.Vertex
+	// Unresolved counts the slots still equal to NoVertex.
+	Unresolved int
+}
+
+// Oracle mediates all access of a searching process to the hidden
+// graph, enforcing the chosen knowledge model and counting requests.
+type Oracle struct {
+	g         *graph.Graph
+	knowledge Knowledge
+	start     graph.Vertex
+	target    graph.Vertex
+
+	requests int
+	found    bool
+
+	views map[graph.Vertex]*View
+	order []graph.Vertex // discovery order
+
+	// Strong model: identity+degree known, adjacency not yet requested.
+	visible      map[graph.Vertex]bool
+	visibleOrder []graph.Vertex
+
+	parent map[graph.Vertex]graph.Vertex // discovery tree for FoundPath
+
+	// Slot shuffling (see NewOracleShuffled): perm maps searcher-visible
+	// slots to physical incidence slots, inv is its inverse. nil maps
+	// mean identity order.
+	shuffler *rng.RNG
+	perm     map[graph.Vertex][]int32
+	inv      map[graph.Vertex][]int32
+
+	tracing bool
+	trace   []TraceEvent
+}
+
+// NewOracle builds an oracle over g for a search starting at start and
+// looking for target. Both vertices must exist; they may coincide, in
+// which case the search is immediately successful with zero requests.
+//
+// NewOracle exposes each vertex's incident edges in physical (insertion)
+// order. In evolving graphs that order correlates with edge age, which
+// is MORE information than the paper's model grants — an algorithm
+// could read vertex ages out of slot indices. Measurements must
+// therefore use NewOracleShuffled; plain NewOracle is kept for tests
+// and debugging, where predictable slots are convenient.
+func NewOracle(g *graph.Graph, start, target graph.Vertex, k Knowledge) (*Oracle, error) {
+	return newOracle(g, start, target, k, nil)
+}
+
+// NewOracleShuffled is NewOracle with age-censored slot order: every
+// vertex's incident edge list is presented through an independent
+// random permutation derived from seed, so slot indices carry no
+// information beyond what the paper's model reveals. All measurements
+// in the repository use this constructor.
+func NewOracleShuffled(g *graph.Graph, start, target graph.Vertex, k Knowledge, seed uint64) (*Oracle, error) {
+	return newOracle(g, start, target, k, rng.New(rng.DeriveSeed(seed, 0x51075107)))
+}
+
+func newOracle(g *graph.Graph, start, target graph.Vertex, k Knowledge, shuffler *rng.RNG) (*Oracle, error) {
+	if k != Weak && k != Strong {
+		return nil, fmt.Errorf("search: unknown knowledge model %d", int(k))
+	}
+	n := graph.Vertex(g.NumVertices())
+	if start < 1 || start > n {
+		return nil, fmt.Errorf("search: start vertex %d out of [1, %d]", start, n)
+	}
+	if target < 1 || target > n {
+		return nil, fmt.Errorf("search: target vertex %d out of [1, %d]", target, n)
+	}
+	o := &Oracle{
+		g:         g,
+		knowledge: k,
+		start:     start,
+		target:    target,
+		views:     make(map[graph.Vertex]*View),
+		visible:   make(map[graph.Vertex]bool),
+		parent:    make(map[graph.Vertex]graph.Vertex),
+		shuffler:  shuffler,
+	}
+	if shuffler != nil {
+		o.perm = make(map[graph.Vertex][]int32)
+		o.inv = make(map[graph.Vertex][]int32)
+	}
+	switch k {
+	case Weak:
+		o.discover(start, graph.NoVertex)
+	case Strong:
+		o.visible[start] = true
+		o.visibleOrder = append(o.visibleOrder, start)
+		o.views[start] = &View{ID: start, Degree: g.Degree(start)}
+		if start == target {
+			o.found = true
+		}
+	}
+	return o, nil
+}
+
+// ensurePerm lazily builds the visible→physical slot permutation (and
+// its inverse) for v when shuffling is on.
+func (o *Oracle) ensurePerm(v graph.Vertex) {
+	if o.shuffler == nil {
+		return
+	}
+	if _, ok := o.perm[v]; ok {
+		return
+	}
+	deg := o.g.Degree(v)
+	p := make([]int32, deg)
+	inv := make([]int32, deg)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	o.shuffler.Shuffle(deg, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	for vis, phys := range p {
+		inv[phys] = int32(vis)
+	}
+	o.perm[v] = p
+	o.inv[v] = inv
+}
+
+// physSlot translates a searcher-visible slot of v to the physical
+// incidence index.
+func (o *Oracle) physSlot(v graph.Vertex, vis int) int {
+	if o.shuffler == nil {
+		return vis
+	}
+	o.ensurePerm(v)
+	return int(o.perm[v][vis])
+}
+
+// visSlot translates a physical incidence index of v to the slot the
+// searcher sees.
+func (o *Oracle) visSlot(v graph.Vertex, phys int) int {
+	if o.shuffler == nil {
+		return phys
+	}
+	o.ensurePerm(v)
+	return int(o.inv[v][phys])
+}
+
+// Knowledge returns the active model.
+func (o *Oracle) Knowledge() Knowledge { return o.knowledge }
+
+// Start returns the initial vertex.
+func (o *Oracle) Start() graph.Vertex { return o.start }
+
+// Target returns the identity the searcher is looking for. (The
+// searcher always knows the label it wants; the paper's identities are
+// the range [1, n].)
+func (o *Oracle) Target() graph.Vertex { return o.target }
+
+// NumVertices exposes n, the size of the identity space — public
+// knowledge in the paper's labelled-graph setting.
+func (o *Oracle) NumVertices() int { return o.g.NumVertices() }
+
+// Requests returns the number of requests made so far.
+func (o *Oracle) Requests() int { return o.requests }
+
+// Found reports whether the target's identity has been revealed.
+func (o *Oracle) Found() bool { return o.found }
+
+// Discovered returns the discovered vertices in discovery order. The
+// slice is shared; callers must not modify it.
+func (o *Oracle) Discovered() []graph.Vertex { return o.order }
+
+// ViewOf returns the searcher's knowledge about v, if any. The
+// returned view is shared state owned by the oracle; callers must
+// treat it as read-only.
+func (o *Oracle) ViewOf(v graph.Vertex) (*View, bool) {
+	view, ok := o.views[v]
+	return view, ok
+}
+
+// discover adds v to the discovered set with a fresh weak-model view.
+func (o *Oracle) discover(v, from graph.Vertex) {
+	if _, ok := o.views[v]; ok {
+		return
+	}
+	deg := o.g.Degree(v)
+	o.views[v] = &View{
+		ID:         v,
+		Degree:     deg,
+		Resolved:   make([]graph.Vertex, deg),
+		Unresolved: deg,
+	}
+	o.order = append(o.order, v)
+	if from != graph.NoVertex {
+		o.parent[v] = from
+	}
+	if v == o.target {
+		o.found = true
+	}
+}
+
+// RequestEdge performs a weak-model request (u, slot): it reveals the
+// far endpoint of u's incident edge in the given slot and returns its
+// identity. The request is free when the slot was already resolved
+// (the searcher re-reads its own knowledge); otherwise it costs one
+// request. newInfo reports whether the call consumed a request.
+func (o *Oracle) RequestEdge(u graph.Vertex, slot int) (v graph.Vertex, newInfo bool, err error) {
+	if o.knowledge != Weak {
+		return graph.NoVertex, false, fmt.Errorf("search: RequestEdge in %v model", o.knowledge)
+	}
+	view, ok := o.views[u]
+	if !ok {
+		return graph.NoVertex, false, fmt.Errorf("search: RequestEdge on undiscovered vertex %d", u)
+	}
+	if slot < 0 || slot >= view.Degree {
+		return graph.NoVertex, false, fmt.Errorf("search: RequestEdge slot %d out of [0, %d) for vertex %d", slot, view.Degree, u)
+	}
+	if w := view.Resolved[slot]; w != graph.NoVertex {
+		return w, false, nil
+	}
+	o.requests++
+	half := o.g.HalfAt(u, o.physSlot(u, slot))
+	v = half.Other
+	o.resolveSlot(view, slot, v)
+	o.discover(v, u)
+	// The answer includes v's incident edge list; the searcher can see
+	// which of v's slots carries this very edge, so resolve the
+	// matching reverse slot(s).
+	o.resolveReverse(v, half.Edge, u)
+	o.record(TraceEvent{Kind: TraceEdgeRequest, Subject: u, Slot: slot, Revealed: v})
+	return v, true, nil
+}
+
+// resolveSlot marks one slot of a view resolved.
+func (o *Oracle) resolveSlot(view *View, slot int, w graph.Vertex) {
+	if view.Resolved[slot] == graph.NoVertex {
+		view.Resolved[slot] = w
+		view.Unresolved--
+	}
+}
+
+// resolveReverse resolves, in v's view, every slot carrying the given
+// edge (both halves for a self-loop).
+func (o *Oracle) resolveReverse(v graph.Vertex, e graph.EdgeID, far graph.Vertex) {
+	view, ok := o.views[v]
+	if !ok {
+		return
+	}
+	for phys, h := range o.g.Incident(v) {
+		if h.Edge == e {
+			o.resolveSlot(view, o.visSlot(v, phys), far)
+		}
+	}
+}
+
+// Visible returns, in first-seen order, the strong-model frontier:
+// vertices whose identity and degree are known but whose adjacency has
+// not been requested yet. The returned slice is freshly allocated. It
+// is only meaningful in the strong model.
+func (o *Oracle) Visible() []graph.Vertex {
+	frontier := o.visibleOrder[:0:0]
+	for _, v := range o.visibleOrder {
+		if o.visible[v] {
+			frontier = append(frontier, v)
+		}
+	}
+	return frontier
+}
+
+// IsVisible reports whether v is currently in the strong-model
+// frontier.
+func (o *Oracle) IsVisible(v graph.Vertex) bool { return o.visible[v] }
+
+// RequestVertex performs a strong-model request on a visible vertex u:
+// the answer is u's neighbor multiset with degrees. u moves from
+// visible to discovered; its neighbors become visible. Requesting an
+// already discovered vertex is free and returns the cached answer.
+func (o *Oracle) RequestVertex(u graph.Vertex) (neighbors []graph.Vertex, newInfo bool, err error) {
+	if o.knowledge != Strong {
+		return nil, false, fmt.Errorf("search: RequestVertex in %v model", o.knowledge)
+	}
+	if view, ok := o.views[u]; ok && view.Resolved != nil {
+		return view.Resolved, false, nil // already discovered: free re-read
+	}
+	if !o.visible[u] {
+		return nil, false, fmt.Errorf("search: RequestVertex on vertex %d not adjacent to a discovered vertex", u)
+	}
+	o.requests++
+	delete(o.visible, u)
+	view := o.views[u]
+	view.Resolved = make([]graph.Vertex, view.Degree)
+	view.Unresolved = 0
+	o.order = append(o.order, u)
+	if u == o.target {
+		o.found = true
+	}
+	for phys, h := range o.g.Incident(u) {
+		w := h.Other
+		view.Resolved[o.visSlot(u, phys)] = w
+		if _, known := o.views[w]; !known {
+			o.views[w] = &View{ID: w, Degree: o.g.Degree(w)}
+			o.visible[w] = true
+			o.visibleOrder = append(o.visibleOrder, w)
+			o.parent[w] = u
+			if w == o.target {
+				o.found = true
+			}
+		}
+	}
+	o.record(TraceEvent{Kind: TraceVertexRequest, Subject: u, Slot: -1, Revealed: graph.NoVertex})
+	return view.Resolved, true, nil
+}
+
+// FoundPath reconstructs a start→target path from the discovery tree
+// once Found is true. The path is a witness that the search process
+// has genuinely located the target through revealed edges.
+func (o *Oracle) FoundPath() ([]graph.Vertex, error) {
+	if !o.found {
+		return nil, errors.New("search: FoundPath before the target was found")
+	}
+	path := []graph.Vertex{o.target}
+	seen := map[graph.Vertex]bool{o.target: true}
+	cur := o.target
+	for cur != o.start {
+		p, ok := o.parent[cur]
+		if !ok {
+			return nil, fmt.Errorf("search: discovery tree broken at vertex %d", cur)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("search: discovery tree cycle at vertex %d", p)
+		}
+		seen[p] = true
+		path = append(path, p)
+		cur = p
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}

@@ -1,0 +1,57 @@
+package search
+
+import "testing"
+
+func TestRegistryNamesUniqueAndModelsConsistent(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range WeakAlgorithms() {
+		if seen[a.Name()] {
+			t.Errorf("duplicate algorithm name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		if a.Knowledge() != Weak {
+			t.Errorf("%s registered as weak but declares %v", a.Name(), a.Knowledge())
+		}
+	}
+	for _, a := range StrongAlgorithms() {
+		if seen[a.Name()] {
+			t.Errorf("duplicate algorithm name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		if a.Knowledge() != Strong {
+			t.Errorf("%s registered as strong but declares %v", a.Name(), a.Knowledge())
+		}
+	}
+	if len(seen) != len(WeakAlgorithms())+len(StrongAlgorithms()) {
+		t.Error("registry sizes inconsistent")
+	}
+}
+
+func TestStepCap(t *testing.T) {
+	if got := stepCap(100); got != 64*100+1024 {
+		t.Errorf("stepCap(100) = %d", got)
+	}
+	if got := stepCap(0); got < 1<<30 {
+		t.Errorf("unbounded stepCap too small: %d", got)
+	}
+}
+
+func TestBudgetLeft(t *testing.T) {
+	g := pathGraph(3)
+	o, err := NewOracle(g, 1, 3, Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !budgetLeft(o, 0) {
+		t.Error("unlimited budget reported exhausted")
+	}
+	if !budgetLeft(o, 1) {
+		t.Error("fresh oracle reported exhausted")
+	}
+	if _, _, err := o.RequestEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if budgetLeft(o, 1) {
+		t.Error("spent budget reported available")
+	}
+}

@@ -1,0 +1,217 @@
+package search
+
+import (
+	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/mori"
+	"scalefree/internal/rng"
+)
+
+func TestShuffledOracleProtocolInvariants(t *testing.T) {
+	// Every weak-model invariant must survive slot shuffling: degrees
+	// unchanged, each slot resolves to a real neighbor, the multiset of
+	// resolved endpoints equals the true neighbor multiset.
+	tree, err := mori.GenerateTree(rng.New(3), 60, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tree.Graph()
+	o, err := NewOracleShuffled(g, 1, 60, Weak, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Flood{}).Search(o, rng.New(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Found() {
+		t.Fatal("flood failed")
+	}
+	for _, v := range o.Discovered() {
+		view, _ := o.ViewOf(v)
+		if view.Degree != g.Degree(v) {
+			t.Fatalf("vertex %d: visible degree %d != %d", v, view.Degree, g.Degree(v))
+		}
+		if view.Unresolved != 0 {
+			continue // flood may stop early once the target is revealed
+		}
+		want := map[graph.Vertex]int{}
+		for _, h := range g.Incident(v) {
+			want[h.Other]++
+		}
+		got := map[graph.Vertex]int{}
+		for _, w := range view.Resolved {
+			got[w]++
+		}
+		for w, c := range want {
+			if got[w] != c {
+				t.Fatalf("vertex %d: neighbor %d resolved %d times, want %d", v, w, got[w], c)
+			}
+		}
+	}
+	path, err := o.FoundPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidPath(t, g, path, 1, 60)
+}
+
+func TestShuffledOracleSelfLoopAndParallelEdges(t *testing.T) {
+	b := graph.NewBuilder(2, 3)
+	b.AddVertices(2)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 1)
+	b.AddEdge(2, 1)
+	g := b.Freeze()
+	for seed := uint64(0); seed < 20; seed++ {
+		o, err := NewOracleShuffled(g, 1, 2, Weak, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, _ := o.ViewOf(1)
+		// Resolve every slot of vertex 1; each answer must be legal and
+		// the loop halves must resolve in pairs.
+		for slot := 0; slot < view.Degree; slot++ {
+			v, _, err := o.RequestEdge(1, slot)
+			if err != nil {
+				t.Fatalf("seed %d slot %d: %v", seed, slot, err)
+			}
+			if v != 1 && v != 2 {
+				t.Fatalf("seed %d: revealed %d", seed, v)
+			}
+		}
+		selfCount := 0
+		for _, w := range view.Resolved {
+			if w == 1 {
+				selfCount++
+			}
+		}
+		if selfCount != 2 {
+			t.Fatalf("seed %d: loop resolved %d halves, want 2 (%v)", seed, selfCount, view.Resolved)
+		}
+	}
+}
+
+func TestShuffledOracleCensorsSlotAge(t *testing.T) {
+	// On a star (Móri p=1), the youngest vertex owns the hub's last
+	// physical slot. With the plain oracle, resolving hub slots in
+	// increasing order finds it deterministically at request n-1; the
+	// shuffled oracle must spread it uniformly — its mean position over
+	// seeds should be near (n-1)/2, and it must sometimes appear early.
+	const n = 200
+	tree, err := mori.GenerateTree(rng.New(9), n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tree.Graph()
+	if g.Degree(1) != n-1 {
+		t.Fatalf("p=1 tree is not a star (hub degree %d)", g.Degree(1))
+	}
+
+	plain, err := NewOracle(g, 1, n, Weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Flood{}).Search(plain, rng.New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != n-1 {
+		t.Fatalf("plain oracle: flood found the youngest at request %d, want %d (age leak)", res.Requests, n-1)
+	}
+
+	total, early := 0, 0
+	const seeds = 60
+	for seed := uint64(0); seed < seeds; seed++ {
+		o, err := NewOracleShuffled(g, 1, n, Weak, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := (&Flood{}).Search(o, rng.New(1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += r.Requests
+		if r.Requests < n/2 {
+			early++
+		}
+	}
+	mean := float64(total) / seeds
+	if mean > 0.75*float64(n) || mean < 0.25*float64(n) {
+		t.Errorf("shuffled mean position %.1f, want ≈%d", mean, n/2)
+	}
+	if early == 0 {
+		t.Error("target never found early across 60 shuffles; slot order still leaks age")
+	}
+}
+
+func TestShuffledOracleDeterministicPerSeed(t *testing.T) {
+	tree, err := mori.GenerateTree(rng.New(5), 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tree.Graph()
+	run := func(seed uint64) int {
+		o, err := NewOracleShuffled(g, 1, 100, Weak, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewDegreeGreedyWeak().Search(o, rng.New(1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Requests
+	}
+	if run(42) != run(42) {
+		t.Error("same shuffle seed gave different results")
+	}
+	diff := false
+	for seed := uint64(0); seed < 10; seed++ {
+		if run(seed) != run(seed+100) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("10 different shuffle seeds all gave identical request counts; shuffling inert?")
+	}
+}
+
+func TestShuffledOracleStrongModel(t *testing.T) {
+	tree, err := mori.GenerateTree(rng.New(7), 80, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tree.Graph()
+	o, err := NewOracleShuffled(g, 1, 80, Strong, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewDegreeGreedyStrong().Search(o, rng.New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("strong search failed under shuffling")
+	}
+	// Every requested vertex's neighbor multiset must match the graph.
+	for _, v := range o.Discovered() {
+		view, _ := o.ViewOf(v)
+		if view.Resolved == nil {
+			continue
+		}
+		want := map[graph.Vertex]int{}
+		for _, h := range g.Incident(v) {
+			want[h.Other]++
+		}
+		got := map[graph.Vertex]int{}
+		for _, w := range view.Resolved {
+			got[w]++
+		}
+		for w, c := range want {
+			if got[w] != c {
+				t.Fatalf("vertex %d: neighbor %d seen %d times, want %d", v, w, got[w], c)
+			}
+		}
+	}
+}

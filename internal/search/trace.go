@@ -1,0 +1,79 @@
+package search
+
+import (
+	"fmt"
+	"io"
+
+	"scalefree/internal/graph"
+)
+
+// TraceKind distinguishes the two request types in a trace.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceEdgeRequest TraceKind = iota + 1
+	TraceVertexRequest
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceEdgeRequest:
+		return "edge"
+	case TraceVertexRequest:
+		return "vertex"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", int(k))
+	}
+}
+
+// TraceEvent records one paid oracle request.
+type TraceEvent struct {
+	Seq      int          // 1-based request number
+	Kind     TraceKind    // edge (weak) or vertex (strong)
+	Subject  graph.Vertex // the requested vertex
+	Slot     int          // edge slot for weak requests, -1 for strong
+	Revealed graph.Vertex // far endpoint (weak); NoVertex for strong
+	Found    bool         // whether this request revealed the target
+}
+
+// EnableTrace switches on request recording. Call before searching;
+// tracing costs one append per paid request.
+func (o *Oracle) EnableTrace() { o.tracing = true }
+
+// Trace returns the recorded request sequence (nil unless EnableTrace
+// was called). The slice is owned by the oracle; treat it as read-only.
+func (o *Oracle) Trace() []TraceEvent { return o.trace }
+
+func (o *Oracle) record(ev TraceEvent) {
+	if !o.tracing {
+		return
+	}
+	ev.Seq = o.requests
+	ev.Found = o.found
+	o.trace = append(o.trace, ev)
+}
+
+// WriteTrace renders a recorded trace, one request per line, in the
+// order the requests were paid for.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	for _, ev := range events {
+		var line string
+		switch ev.Kind {
+		case TraceEdgeRequest:
+			line = fmt.Sprintf("#%d edge (%d, slot %d) -> %d", ev.Seq, ev.Subject, ev.Slot, ev.Revealed)
+		case TraceVertexRequest:
+			line = fmt.Sprintf("#%d vertex %d", ev.Seq, ev.Subject)
+		default:
+			line = fmt.Sprintf("#%d unknown", ev.Seq)
+		}
+		if ev.Found {
+			line += "  [target revealed]"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return fmt.Errorf("search: writing trace: %w", err)
+		}
+	}
+	return nil
+}

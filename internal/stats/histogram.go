@@ -1,0 +1,82 @@
+package stats
+
+import "sort"
+
+// Histogram counts occurrences of non-negative integer values (degrees).
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// HistogramOf builds a histogram from a sample in one call.
+func HistogramOf(xs []int) *Histogram {
+	h := NewHistogram()
+	for _, x := range xs {
+		h.Observe(x)
+	}
+	return h
+}
+
+// Observe adds one occurrence of value x.
+func (h *Histogram) Observe(x int) {
+	h.counts[x]++
+	h.total++
+}
+
+// Count returns the number of occurrences of x.
+func (h *Histogram) Count(x int) int { return h.counts[x] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Support returns the observed values in increasing order.
+func (h *Histogram) Support() []int {
+	vals := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// CCDFPoint is one point of a complementary cumulative distribution:
+// the fraction of observations with value >= X.
+type CCDFPoint struct {
+	X    int
+	Frac float64
+}
+
+// CCDF returns the complementary CDF at every observed value, in
+// increasing order of value. An empty histogram yields nil.
+func (h *Histogram) CCDF() []CCDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	support := h.Support()
+	points := make([]CCDFPoint, len(support))
+	remaining := h.total
+	for i, v := range support {
+		points[i] = CCDFPoint{X: v, Frac: float64(remaining) / float64(h.total)}
+		remaining -= h.counts[v]
+	}
+	return points
+}
+
+// TailFraction returns the fraction of observations with value >= x.
+func (h *Histogram) TailFraction(x int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	tail := 0
+	for v, c := range h.counts {
+		if v >= x {
+			tail += c
+		}
+	}
+	return float64(tail) / float64(h.total)
+}

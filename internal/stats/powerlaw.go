@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PowerLawFit is the result of fitting P(X = d) ∝ d^(-alpha) to the
+// tail {x : x >= Xmin} of an integer sample.
+type PowerLawFit struct {
+	Alpha  float64 // estimated exponent
+	StdErr float64 // asymptotic standard error of Alpha
+	Xmin   int     // tail cutoff used
+	NTail  int     // observations in the tail
+	KS     float64 // KS distance between tail and fitted model
+}
+
+// FitPowerLaw estimates the exponent of a discrete power law on the
+// tail x >= xmin by the Clauset–Shalizi–Newman continuous approximation
+// to the discrete MLE:
+//
+//	alpha = 1 + n / Σ ln(x_i / (xmin - 1/2))
+//
+// which is accurate for xmin ≳ 2 and is the standard estimator for
+// degree sequences. It returns an error when fewer than two tail
+// observations are available.
+func FitPowerLaw(xs []int, xmin int) (PowerLawFit, error) {
+	if xmin < 1 {
+		return PowerLawFit{}, fmt.Errorf("stats: power-law xmin %d < 1", xmin)
+	}
+	sumLog := 0.0
+	n := 0
+	aboveMin := false
+	tail := make([]int, 0, len(xs))
+	shift := float64(xmin) - 0.5
+	for _, x := range xs {
+		if x >= xmin {
+			sumLog += math.Log(float64(x) / shift)
+			n++
+			tail = append(tail, x)
+			if x > xmin {
+				aboveMin = true
+			}
+		}
+	}
+	if n < 2 {
+		return PowerLawFit{}, fmt.Errorf("stats: only %d observations >= xmin %d; need at least 2", n, xmin)
+	}
+	if !aboveMin {
+		return PowerLawFit{}, fmt.Errorf("stats: degenerate tail (all observations equal xmin %d)", xmin)
+	}
+	alpha := 1 + float64(n)/sumLog
+	fit := PowerLawFit{
+		Alpha:  alpha,
+		StdErr: (alpha - 1) / math.Sqrt(float64(n)),
+		Xmin:   xmin,
+		NTail:  n,
+	}
+	fit.KS = powerLawKS(tail, alpha, xmin)
+	return fit, nil
+}
+
+// FitPowerLawAuto selects xmin by scanning candidate cutoffs and
+// keeping the fit with the smallest KS distance, following Clauset et
+// al. The scan considers every distinct sample value as a cutoff while
+// at least minTail observations remain in the tail (minTail <= 0
+// defaults to 50).
+func FitPowerLawAuto(xs []int, minTail int) (PowerLawFit, error) {
+	if minTail <= 0 {
+		minTail = 50
+	}
+	distinct := map[int]bool{}
+	for _, x := range xs {
+		if x >= 1 {
+			distinct[x] = true
+		}
+	}
+	if len(distinct) == 0 {
+		return PowerLawFit{}, fmt.Errorf("stats: no positive observations to fit")
+	}
+	candidates := make([]int, 0, len(distinct))
+	for x := range distinct {
+		candidates = append(candidates, x)
+	}
+	sort.Ints(candidates)
+
+	best := PowerLawFit{KS: math.Inf(1)}
+	found := false
+	for _, xmin := range candidates {
+		fit, err := FitPowerLaw(xs, xmin)
+		if err != nil || fit.NTail < minTail {
+			continue
+		}
+		if fit.KS < best.KS {
+			best = fit
+			found = true
+		}
+	}
+	if !found {
+		// Fall back to the smallest value so the caller still gets an
+		// estimate on short samples.
+		return FitPowerLaw(xs, candidates[0])
+	}
+	return best, nil
+}
+
+// powerLawKS computes the KS distance between the empirical CDF of the
+// tail sample and the fitted continuous power-law CDF with the given
+// alpha and xmin.
+func powerLawKS(tail []int, alpha float64, xmin int) float64 {
+	sorted := append([]int(nil), tail...)
+	sort.Ints(sorted)
+	n := float64(len(sorted))
+	shift := float64(xmin) - 0.5
+	maxDist := 0.0
+	for i, x := range sorted {
+		model := 1 - math.Pow(float64(x)/shift, 1-alpha)
+		empLo := float64(i) / n
+		empHi := float64(i+1) / n
+		if d := math.Abs(model - empLo); d > maxDist {
+			maxDist = d
+		}
+		if d := math.Abs(model - empHi); d > maxDist {
+			maxDist = d
+		}
+	}
+	return maxDist
+}
+
+// CCDFLogLogSlope fits a straight line to (log x, log CCDF(x)) and
+// returns the estimated tail exponent, which for a power law with
+// density exponent alpha is alpha - 1. Points with x < xmin are
+// ignored. It is the quick-look regression estimator reported next to
+// the MLE in the experiment tables.
+func CCDFLogLogSlope(points []CCDFPoint, xmin int) (exponent float64, r2 float64, err error) {
+	var lx, ly []float64
+	for _, p := range points {
+		if p.X >= xmin && p.X > 0 && p.Frac > 0 {
+			lx = append(lx, math.Log(float64(p.X)))
+			ly = append(ly, math.Log(p.Frac))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0, fmt.Errorf("stats: %d usable CCDF points; need at least 2", len(lx))
+	}
+	fit := FitLine(lx, ly)
+	return -fit.Slope, fit.R2, nil
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/rng"
+)
+
+// samplePowerLaw draws n values from a discrete bounded power law using
+// the rng package's exact sampler.
+func samplePowerLaw(t testing.TB, k float64, min, max, n int, seed uint64) []int {
+	t.Helper()
+	pl, err := rng.NewPowerLaw(k, min, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = pl.Sample(r)
+	}
+	return xs
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	for _, k := range []float64{2.1, 2.5, 3.0} {
+		xs := samplePowerLaw(t, k, 1, 100000, 60000, 42)
+		fit, err := FitPowerLaw(xs, 5)
+		if err != nil {
+			t.Fatalf("k=%v: %v", k, err)
+		}
+		if math.Abs(fit.Alpha-k) > 0.1 {
+			t.Errorf("k=%v: estimated alpha %v (se %v)", k, fit.Alpha, fit.StdErr)
+		}
+		if fit.StdErr <= 0 || fit.StdErr > 0.1 {
+			t.Errorf("k=%v: implausible stderr %v", k, fit.StdErr)
+		}
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]int{1, 2, 3}, 0); err == nil {
+		t.Error("xmin 0 accepted")
+	}
+	if _, err := FitPowerLaw([]int{1}, 1); err == nil {
+		t.Error("single observation accepted")
+	}
+	if _, err := FitPowerLaw([]int{5, 5, 5}, 5); err == nil {
+		t.Error("degenerate all-equal tail accepted")
+	}
+	if _, err := FitPowerLaw([]int{1, 2}, 10); err == nil {
+		t.Error("empty tail accepted")
+	}
+}
+
+func TestFitPowerLawAuto(t *testing.T) {
+	// Contaminate the head: values below 5 are uniform noise, the tail
+	// is a clean power law. Auto xmin should land at a cutoff that
+	// recovers the tail exponent.
+	k := 2.5
+	xs := samplePowerLaw(t, k, 5, 100000, 40000, 7)
+	r := rng.New(8)
+	for i := 0; i < 20000; i++ {
+		xs = append(xs, r.IntRange(1, 4))
+	}
+	fit, err := FitPowerLawAuto(xs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Xmin < 4 {
+		t.Errorf("auto xmin = %d; expected the noisy head to be excluded", fit.Xmin)
+	}
+	if math.Abs(fit.Alpha-k) > 0.15 {
+		t.Errorf("alpha = %v, want ~%v", fit.Alpha, k)
+	}
+}
+
+func TestFitPowerLawAutoNoData(t *testing.T) {
+	if _, err := FitPowerLawAuto(nil, 10); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := FitPowerLawAuto([]int{0, -3}, 10); err == nil {
+		t.Error("non-positive sample accepted")
+	}
+}
+
+func TestFitPowerLawAutoShortSampleFallsBack(t *testing.T) {
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	fit, err := FitPowerLawAuto(xs, 1000)
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if fit.Xmin != 1 {
+		t.Errorf("fallback xmin = %d, want 1", fit.Xmin)
+	}
+}
+
+func TestCCDFLogLogSlope(t *testing.T) {
+	// For a power law with density exponent alpha the CCDF decays with
+	// exponent alpha-1.
+	k := 2.5
+	xs := samplePowerLaw(t, k, 1, 100000, 80000, 9)
+	ccdf := HistogramOf(xs).CCDF()
+	exp, r2, err := CCDFLogLogSlope(ccdf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp-(k-1)) > 0.25 {
+		t.Errorf("CCDF slope exponent = %v, want ~%v", exp, k-1)
+	}
+	if r2 < 0.95 {
+		t.Errorf("log-log fit R² = %v; power-law CCDF should be near-linear", r2)
+	}
+}
+
+func TestCCDFLogLogSlopeErrors(t *testing.T) {
+	if _, _, err := CCDFLogLogSlope(nil, 1); err == nil {
+		t.Error("empty CCDF accepted")
+	}
+	if _, _, err := CCDFLogLogSlope([]CCDFPoint{{X: 1, Frac: 1}}, 1); err == nil {
+		t.Error("single point accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LineFit is an ordinary least-squares straight-line fit y = a + b·x.
+type LineFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+	SlopeSE   float64 // standard error of the slope
+	N         int
+}
+
+// FitLine fits y = a + b·x by ordinary least squares. It panics when
+// the inputs differ in length or hold fewer than two points.
+func FitLine(x, y []float64) LineFit {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: FitLine length mismatch %d != %d", len(x), len(y)))
+	}
+	n := len(x)
+	if n < 2 {
+		panic("stats: FitLine needs at least two points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: FitLine with zero variance in x")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	fit := LineFit{Slope: slope, Intercept: intercept, N: n}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // y constant and perfectly predicted
+	}
+	if n > 2 {
+		var sse float64
+		for i := range x {
+			resid := y[i] - (intercept + slope*x[i])
+			sse += resid * resid
+		}
+		fit.SlopeSE = math.Sqrt(sse / float64(n-2) / sxx)
+	}
+	return fit
+}
+
+// ScalingFit estimates c and the exponent e in y ≈ c·n^e from paired
+// observations by regressing log y on log n. All inputs must be
+// positive.
+type ScalingFit struct {
+	Exponent   float64 // e
+	ExponentSE float64
+	Coeff      float64 // c
+	R2         float64
+}
+
+// FitScaling fits y = c·n^e on log-log axes. It returns an error when
+// fewer than two valid (positive) pairs exist.
+func FitScaling(ns, ys []float64) (ScalingFit, error) {
+	if len(ns) != len(ys) {
+		return ScalingFit{}, fmt.Errorf("stats: FitScaling length mismatch %d != %d", len(ns), len(ys))
+	}
+	var lx, ly []float64
+	for i := range ns {
+		if ns[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(ns[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return ScalingFit{}, fmt.Errorf("stats: FitScaling has %d usable pairs; need at least 2", len(lx))
+	}
+	line := FitLine(lx, ly)
+	return ScalingFit{
+		Exponent:   line.Slope,
+		ExponentSE: line.SlopeSE,
+		Coeff:      math.Exp(line.Intercept),
+		R2:         line.R2,
+	}, nil
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/rng"
+)
+
+func TestFitLineExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	fit := FitLine(x, y)
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("R² = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineNoisy(t *testing.T) {
+	r := rng.New(3)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := float64(i) / 10
+		x = append(x, xi)
+		y = append(y, 4-3*xi+(r.Float64()-0.5))
+	}
+	fit := FitLine(x, y)
+	if math.Abs(fit.Slope+3) > 0.05 {
+		t.Errorf("slope = %v, want ~-3", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-4) > 0.2 {
+		t.Errorf("intercept = %v, want ~4", fit.Intercept)
+	}
+	if fit.SlopeSE <= 0 || fit.SlopeSE > 0.05 {
+		t.Errorf("slope SE = %v", fit.SlopeSE)
+	}
+}
+
+func TestFitLineConstantY(t *testing.T) {
+	fit := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("constant fit = %+v", fit)
+	}
+}
+
+func TestFitLinePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FitLine([]float64{1}, []float64{1, 2}) },
+		func() { FitLine([]float64{1}, []float64{1}) },
+		func() { FitLine([]float64{2, 2}, []float64{1, 5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFitScalingRecoversExponent(t *testing.T) {
+	// y = 3·n^0.5 exactly.
+	ns := []float64{100, 200, 400, 800, 1600}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		ys[i] = 3 * math.Sqrt(n)
+	}
+	fit, err := FitScaling(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Exponent, 0.5, 1e-9) {
+		t.Errorf("exponent = %v, want 0.5", fit.Exponent)
+	}
+	if !almostEqual(fit.Coeff, 3, 1e-9) {
+		t.Errorf("coeff = %v, want 3", fit.Coeff)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("R² = %v", fit.R2)
+	}
+}
+
+func TestFitScalingSkipsNonPositive(t *testing.T) {
+	ns := []float64{0, -1, 10, 100, 1000}
+	ys := []float64{5, 5, 1, 10, 100}
+	fit, err := FitScaling(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Exponent, 1, 1e-9) {
+		t.Errorf("exponent = %v, want 1", fit.Exponent)
+	}
+}
+
+func TestFitScalingErrors(t *testing.T) {
+	if _, err := FitScaling([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitScaling([]float64{1, -2}, []float64{1, 1}); err == nil {
+		t.Error("single usable pair accepted")
+	}
+}

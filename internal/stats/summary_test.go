@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance with n-1 denominator: sum of squares = 32, /7.
+	if got := Variance(xs); !almostEqual(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if got := StdErr(xs); !almostEqual(got, math.Sqrt(32.0/7/8), 1e-12) {
+		t.Errorf("StdErr = %v", got)
+	}
+}
+
+func TestMeanEmptyAndSingle(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single element != 0")
+	}
+	if StdErr(nil) != 0 {
+		t.Error("StdErr(nil) != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.125, 1.5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("Quantile single = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+		func() { Quantile([]float64{1}, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Min != 1 || s.Max != 100 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almostEqual(s.Mean, 22, 1e-12) {
+		t.Errorf("Summary.Mean = %v", s.Mean)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	got := IntsToFloats([]int{1, -2, 3})
+	want := []float64{1, -2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IntsToFloats[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := HistogramOf([]int{1, 1, 2, 5, 5, 5})
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(5) != 3 || h.Count(3) != 0 {
+		t.Errorf("counts wrong: %d, %d", h.Count(5), h.Count(3))
+	}
+	support := h.Support()
+	want := []int{1, 2, 5}
+	if len(support) != 3 {
+		t.Fatalf("Support = %v", support)
+	}
+	for i := range want {
+		if support[i] != want[i] {
+			t.Errorf("Support[%d] = %d", i, support[i])
+		}
+	}
+}
+
+func TestHistogramCCDF(t *testing.T) {
+	h := HistogramOf([]int{1, 1, 2, 4})
+	ccdf := h.CCDF()
+	want := []CCDFPoint{{1, 1}, {2, 0.5}, {4, 0.25}}
+	if len(ccdf) != len(want) {
+		t.Fatalf("CCDF = %v", ccdf)
+	}
+	for i := range want {
+		if ccdf[i].X != want[i].X || !almostEqual(ccdf[i].Frac, want[i].Frac, 1e-12) {
+			t.Errorf("CCDF[%d] = %+v, want %+v", i, ccdf[i], want[i])
+		}
+	}
+	if NewHistogram().CCDF() != nil {
+		t.Error("empty CCDF should be nil")
+	}
+}
+
+func TestTailFraction(t *testing.T) {
+	h := HistogramOf([]int{1, 2, 3, 4})
+	if got := h.TailFraction(3); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("TailFraction(3) = %v", got)
+	}
+	if got := h.TailFraction(99); got != 0 {
+		t.Errorf("TailFraction(99) = %v", got)
+	}
+	if got := NewHistogram().TailFraction(0); got != 0 {
+		t.Errorf("empty TailFraction = %v", got)
+	}
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ChiSquareResult reports a chi-square goodness-of-fit test.
+type ChiSquareResult struct {
+	Statistic float64
+	DF        int
+	PValue    float64
+}
+
+// ChiSquareGoodnessOfFit tests observed integer counts against expected
+// counts (same length, expected all positive). Degrees of freedom are
+// len-1 unless the caller reduces them via fittedParams (number of
+// model parameters estimated from the data).
+func ChiSquareGoodnessOfFit(observed []int, expected []float64, fittedParams int) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square length mismatch %d != %d", len(observed), len(expected))
+	}
+	if len(observed) < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square needs at least two cells")
+	}
+	stat := 0.0
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: chi-square expected count %d is %v; all must be positive", i, e)
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	df := len(observed) - 1 - fittedParams
+	if df < 1 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square degrees of freedom %d < 1", df)
+	}
+	return ChiSquareResult{
+		Statistic: stat,
+		DF:        df,
+		PValue:    chiSquareSF(stat, df),
+	}, nil
+}
+
+// chiSquareSF is the chi-square survival function P(X >= x) with df
+// degrees of freedom, computed via the regularized upper incomplete
+// gamma function Q(df/2, x/2).
+func chiSquareSF(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(float64(df)/2, x/2)
+}
+
+// regularizedGammaQ computes Q(a, x) = Γ(a, x)/Γ(a) using the series
+// expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes construction, double precision).
+func regularizedGammaQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - lowerGammaSeries(a, x)
+	default:
+		return upperGammaCF(a, x)
+	}
+}
+
+func lowerGammaSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 1e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func upperGammaCF(a, x float64) float64 {
+	const itmax = 500
+	const eps = 1e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// KSResult reports a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	Statistic float64 // max CDF distance
+	PValue    float64 // asymptotic two-sided p-value
+}
+
+// KSTwoSample computes the two-sample KS statistic and its asymptotic
+// p-value. It returns an error when either sample is empty.
+func KSTwoSample(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, fmt.Errorf("stats: KS test with empty sample (%d, %d)", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := len(as), len(bs)
+	var i, j int
+	maxDist := 0.0
+	for i < na && j < nb {
+		var x float64
+		if as[i] <= bs[j] {
+			x = as[i]
+		} else {
+			x = bs[j]
+		}
+		for i < na && as[i] <= x {
+			i++
+		}
+		for j < nb && bs[j] <= x {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	en := math.Sqrt(float64(na) * float64(nb) / float64(na+nb))
+	return KSResult{Statistic: maxDist, PValue: ksPValue((en + 0.12 + 0.11/en) * maxDist)}, nil
+}
+
+// ksPValue evaluates the Kolmogorov distribution tail
+// Q(λ) = 2 Σ_{k>=1} (-1)^{k-1} e^{-2k²λ²}.
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// Bootstrap is a bootstrap confidence interval for the mean.
+type Bootstrap struct {
+	Mean float64
+	Lo   float64 // lower CI bound
+	Hi   float64 // upper CI bound
+}
+
+// BootstrapMeanCI computes a percentile bootstrap confidence interval
+// for the mean of xs at the given confidence level (e.g. 0.95), using
+// resamples drawn with the provided uniform source. nextUint64 must
+// return uniform random 64-bit values (an rng.RNG's Uint64 method fits;
+// the indirection keeps this package dependency-free).
+func BootstrapMeanCI(xs []float64, resamples int, level float64, nextUint64 func() uint64) (Bootstrap, error) {
+	if len(xs) == 0 {
+		return Bootstrap{}, fmt.Errorf("stats: bootstrap of empty sample")
+	}
+	if resamples < 10 {
+		return Bootstrap{}, fmt.Errorf("stats: %d bootstrap resamples; need at least 10", resamples)
+	}
+	if level <= 0 || level >= 1 {
+		return Bootstrap{}, fmt.Errorf("stats: bootstrap level %v out of (0, 1)", level)
+	}
+	n := len(xs)
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += xs[nextUint64()%uint64(n)]
+		}
+		means[r] = s / float64(n)
+	}
+	alpha := (1 - level) / 2
+	return Bootstrap{
+		Mean: Mean(xs),
+		Lo:   Quantile(means, alpha),
+		Hi:   Quantile(means, 1-alpha),
+	}, nil
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/rng"
+)
+
+func TestChiSquareUniformFit(t *testing.T) {
+	// Counts drawn from a fair distribution should not be rejected.
+	r := rng.New(21)
+	observed := make([]int, 6)
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		observed[r.Intn(6)]++
+	}
+	expected := make([]float64, 6)
+	for i := range expected {
+		expected[i] = draws / 6.0
+	}
+	res, err := ChiSquareGoodnessOfFit(observed, expected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 5 {
+		t.Errorf("DF = %d, want 5", res.DF)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("fair die rejected: p = %v (stat %v)", res.PValue, res.Statistic)
+	}
+}
+
+func TestChiSquareDetectsBias(t *testing.T) {
+	observed := []int{9000, 1000}
+	expected := []float64{5000, 5000}
+	res, err := ChiSquareGoodnessOfFit(observed, expected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("gross bias not detected: p = %v", res.PValue)
+	}
+}
+
+func TestChiSquareKnownValue(t *testing.T) {
+	// Chi-square SF at its own DF is a classic sanity point:
+	// P(X² >= 3.841) ≈ 0.05 for df=1.
+	if got := chiSquareSF(3.841, 1); math.Abs(got-0.05) > 0.001 {
+		t.Errorf("chiSquareSF(3.841, 1) = %v, want ~0.05", got)
+	}
+	if got := chiSquareSF(11.070, 5); math.Abs(got-0.05) > 0.001 {
+		t.Errorf("chiSquareSF(11.070, 5) = %v, want ~0.05", got)
+	}
+	if got := chiSquareSF(0, 3); got != 1 {
+		t.Errorf("chiSquareSF(0) = %v, want 1", got)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquareGoodnessOfFit([]int{1}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ChiSquareGoodnessOfFit([]int{1}, []float64{1}, 0); err == nil {
+		t.Error("single cell accepted")
+	}
+	if _, err := ChiSquareGoodnessOfFit([]int{1, 2}, []float64{1, 0}, 0); err == nil {
+		t.Error("zero expected count accepted")
+	}
+	if _, err := ChiSquareGoodnessOfFit([]int{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("df < 1 accepted")
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := rng.New(31)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = r.Float64()
+	}
+	res, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("identical distributions rejected: p = %v (D = %v)", res.PValue, res.Statistic)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	r := rng.New(37)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = r.Float64() + 0.3
+	}
+	res, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("shifted distributions not detected: p = %v", res.PValue)
+	}
+	if res.Statistic < 0.2 {
+		t.Errorf("KS statistic %v too small for a 0.3 shift", res.Statistic)
+	}
+}
+
+func TestKSErrors(t *testing.T) {
+	if _, err := KSTwoSample(nil, []float64{1}); err == nil {
+		t.Error("empty first sample accepted")
+	}
+	if _, err := KSTwoSample([]float64{1}, nil); err == nil {
+		t.Error("empty second sample accepted")
+	}
+}
+
+func TestKSDoesNotMutateInputs(t *testing.T) {
+	a := []float64{3, 1, 2}
+	b := []float64{5, 4}
+	if _, err := KSTwoSample(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 3 || b[0] != 5 {
+		t.Error("KS mutated inputs")
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	r := rng.New(41)
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 10 + r.Float64() // mean 10.5
+	}
+	bs, err := BootstrapMeanCI(xs, 500, 0.95, r.Uint64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Lo > bs.Mean || bs.Hi < bs.Mean {
+		t.Errorf("CI [%v, %v] does not contain mean %v", bs.Lo, bs.Hi, bs.Mean)
+	}
+	if bs.Lo > 10.5 || bs.Hi < 10.5 {
+		t.Errorf("CI [%v, %v] misses the true mean 10.5", bs.Lo, bs.Hi)
+	}
+	if bs.Hi-bs.Lo > 0.2 {
+		t.Errorf("CI [%v, %v] implausibly wide", bs.Lo, bs.Hi)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := BootstrapMeanCI(nil, 100, 0.95, r.Uint64); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 5, 0.95, r.Uint64); err == nil {
+		t.Error("too few resamples accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 100, 1.5, r.Uint64); err == nil {
+		t.Error("bad level accepted")
+	}
+}

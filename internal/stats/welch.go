@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// WelchResult reports a two-sample Welch t-test (unequal variances).
+type WelchResult struct {
+	T      float64 // t statistic (mean(a) - mean(b), studentized)
+	DF     float64 // Welch–Satterthwaite degrees of freedom
+	PValue float64 // two-sided p-value
+}
+
+// WelchTTest tests whether two independent samples share a mean,
+// without assuming equal variances. It returns an error when either
+// sample has fewer than two observations or when both variances vanish.
+func WelchTTest(a, b []float64) (WelchResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return WelchResult{}, fmt.Errorf("stats: Welch test needs >= 2 observations per sample (%d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se2 := sa + sb
+	if se2 == 0 {
+		if ma == mb {
+			return WelchResult{T: 0, DF: na + nb - 2, PValue: 1}, nil
+		}
+		return WelchResult{}, fmt.Errorf("stats: Welch test with zero variance and unequal means")
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	df := se2 * se2 / (sa*sa/(na-1) + sb*sb/(nb-1))
+	return WelchResult{T: t, DF: df, PValue: studentTwoSided(math.Abs(t), df)}, nil
+}
+
+// studentTwoSided computes P(|T| >= t) for Student's t with df degrees
+// of freedom, via the regularized incomplete beta function
+// I_{df/(df+t²)}(df/2, 1/2).
+func studentTwoSided(t, df float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	x := df / (df + t*t)
+	p := regularizedBeta(x, df/2, 0.5)
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}
+
+// regularizedBeta computes I_x(a, b) by the continued-fraction
+// expansion (Numerical Recipes betacf construction).
+func regularizedBeta(x, a, b float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lgA, _ := math.Lgamma(a)
+	lgB, _ := math.Lgamma(b)
+	lgAB, _ := math.Lgamma(a + b)
+	front := math.Exp(lgAB - lgA - lgB + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(x, a, b) / a
+	}
+	return 1 - front*betaCF(1-x, b, a)/b
+}
+
+func betaCF(x, a, b float64) float64 {
+	const itmax = 500
+	const eps = 1e-14
+	const fpmin = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= itmax; m++ {
+		m2 := float64(2 * m)
+		mf := float64(m)
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"scalefree/internal/rng"
+)
+
+func TestWelchSameMean(t *testing.T) {
+	r := rng.New(3)
+	a := make([]float64, 500)
+	b := make([]float64, 800)
+	for i := range a {
+		a[i] = 5 + r.Float64()
+	}
+	for i := range b {
+		b[i] = 5 + 2*r.Float64() - 0.5 // same mean 5.5, different variance
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("equal means rejected: t=%v df=%v p=%v", res.T, res.DF, res.PValue)
+	}
+}
+
+func TestWelchDetectsShift(t *testing.T) {
+	r := rng.New(7)
+	a := make([]float64, 300)
+	b := make([]float64, 300)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = r.Float64() + 0.5
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-10 {
+		t.Errorf("0.5 shift not detected: p=%v", res.PValue)
+	}
+	if res.T >= 0 {
+		t.Errorf("t statistic sign wrong: %v (a below b)", res.T)
+	}
+}
+
+func TestWelchKnownValue(t *testing.T) {
+	// Hand-computable case: a = {1,2,3,4} (mean 2.5, var 5/3),
+	// b = {2,4,6} (mean 4, var 4). Then
+	//   se² = 5/12 + 4/3 = 1.75,     t = -1.5/√1.75,
+	//   df  = 1.75² / ((5/12)²/3 + (4/3)²/2) = 3.0625/0.94676 ≈ 3.2347.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 4, 6}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := -1.5 / math.Sqrt(1.75)
+	if math.Abs(res.T-wantT) > 1e-12 {
+		t.Errorf("t = %v, want %v", res.T, wantT)
+	}
+	if math.Abs(res.DF-3.234740) > 1e-4 {
+		t.Errorf("df = %v, want ≈3.2347", res.DF)
+	}
+	// For |t| ≈ 1.134 at df ≈ 3.23 the two-sided p sits near 0.34.
+	if res.PValue < 0.30 || res.PValue > 0.38 {
+		t.Errorf("p = %v, want ≈0.34", res.PValue)
+	}
+}
+
+func TestWelchErrors(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("short sample accepted")
+	}
+	if _, err := WelchTTest([]float64{1, 1}, []float64{2, 2}); err == nil {
+		t.Error("zero-variance unequal means accepted")
+	}
+	res, err := WelchTTest([]float64{3, 3}, []float64{3, 3})
+	if err != nil || res.PValue != 1 {
+		t.Errorf("identical constant samples: res=%+v err=%v", res, err)
+	}
+}
+
+func TestStudentTwoSidedSanity(t *testing.T) {
+	// t=0 → p=1; large t → p→0; classic quantile: P(|T|>2.086, df=20) ≈ 0.05.
+	if got := studentTwoSided(0, 10); got != 1 {
+		t.Errorf("p at t=0: %v", got)
+	}
+	if got := studentTwoSided(2.086, 20); math.Abs(got-0.05) > 0.002 {
+		t.Errorf("p at t=2.086 df=20: %v, want ≈0.05", got)
+	}
+	if got := studentTwoSided(100, 5); got > 1e-6 {
+		t.Errorf("p at t=100: %v", got)
+	}
+}
+
+func TestRegularizedBetaEdges(t *testing.T) {
+	if regularizedBeta(0, 2, 3) != 0 || regularizedBeta(1, 2, 3) != 1 {
+		t.Error("beta edges wrong")
+	}
+	// I_{0.5}(1, 1) = 0.5 (uniform CDF).
+	if got := regularizedBeta(0.5, 1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("I_0.5(1,1) = %v", got)
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.7} {
+		lhs := regularizedBeta(x, 2.5, 4)
+		rhs := 1 - regularizedBeta(1-x, 4, 2.5)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("beta symmetry broken at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package weights
+
+import "scalefree/internal/rng"
+
+// EndpointArray implements pure preferential attachment by the
+// append-only endpoint-array trick: every time an edge touches a
+// vertex, the vertex is appended; a uniform draw from the array is then
+// a draw proportional to hit counts. It is O(1) per draw but, unlike
+// Fenwick, supports only integer hit-count weights.
+//
+// It exists as the ablation baseline for the Fenwick sampler (see the
+// package comment) and as the natural sampler for the Barabási–Albert
+// model, whose weights are exactly total degrees.
+type EndpointArray struct {
+	hits []int32
+}
+
+// NewEndpointArray returns an empty sampler with a capacity hint.
+func NewEndpointArray(capHint int) *EndpointArray {
+	return &EndpointArray{hits: make([]int32, 0, capHint)}
+}
+
+// Record appends one hit for item (so its weight increases by one).
+func (e *EndpointArray) Record(item int32) {
+	e.hits = append(e.hits, item)
+}
+
+// Sample draws an item with probability proportional to its hit count.
+// It panics when nothing has been recorded.
+func (e *EndpointArray) Sample(r *rng.RNG) int32 {
+	if len(e.hits) == 0 {
+		panic("weights: EndpointArray.Sample with no recorded hits")
+	}
+	return e.hits[r.Intn(len(e.hits))]
+}
+
+// Total returns the total number of recorded hits.
+func (e *EndpointArray) Total() int { return len(e.hits) }
