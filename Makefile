@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test test-short vet bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench compiles and runs every benchmark once; use
+#   go test -bench ExperimentWorkers -benchtime 5x .
+# for stable parallel-speedup numbers on a multi-core machine.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: build vet test

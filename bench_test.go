@@ -1,14 +1,17 @@
 // Benchmarks regenerating every experiment of the evaluation (DESIGN.md
-// E1–E10). Each bench runs its experiment at a reduced scale so the
+// E1–E11). Each bench runs its experiment at a reduced scale so the
 // full suite stays laptop-sized; use cmd/experiments -scale 1.0 for the
 // EXPERIMENTS.md workloads. b.N loops re-run the full experiment, so
 // per-op time is the cost of regenerating the table.
 package scalefree_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"scalefree/internal/experiment"
+	"scalefree/internal/experiment/engine"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
 	"scalefree/internal/weights"
@@ -49,6 +52,60 @@ func BenchmarkE8AdamicSearch(b *testing.B)           { benchmarkExperiment(b, "E
 func BenchmarkE9KleinbergRouting(b *testing.B)       { benchmarkExperiment(b, "E9") }
 func BenchmarkE10PercolationSearch(b *testing.B)     { benchmarkExperiment(b, "E10") }
 func BenchmarkE11UniformAttachment(b *testing.B)     { benchmarkExperiment(b, "E11") }
+
+// BenchmarkExperimentWorkers measures the wall-clock speedup of the
+// trial engine: the same experiment, same seed, same (bit-identical)
+// tables, across worker counts. E1 is replication-heavy search
+// measurement; E5 is generation-bound with uniform trial sizes. On a
+// machine with GOMAXPROCS >= 4, workers=4 should beat workers=1 by >=2×
+// per op. Run with -bench ExperimentWorkers to compare.
+func BenchmarkExperimentWorkers(b *testing.B) {
+	for _, id := range []string{"E1", "E5"} {
+		exp, ok := experiment.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", id, workers), func(b *testing.B) {
+				cfg := experiment.Config{Seed: 2024, Scale: benchScale}
+				opts := engine.Options{Workers: workers}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tables, err := exp.RunContext(context.Background(), cfg, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(tables) == 0 {
+						b.Fatal("no tables")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkEngineOverhead isolates the engine's scheduling cost: trials
+// that do almost no work, so per-op time is dominated by goroutine
+// handoff and per-trial RNG construction.
+func BenchmarkEngineOverhead(b *testing.B) {
+	trials := make([]engine.Trial, 1024)
+	for i := range trials {
+		trials[i] = engine.Trial{Index: i, Key: "noop", Seed: rng.DeriveSeed(1, uint64(i))}
+	}
+	noop := func(_ context.Context, t engine.Trial, r *rng.RNG) (uint64, error) {
+		return r.Uint64(), nil
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(context.Background(), trials, engine.Options{Workers: workers}, noop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkAblationFenwickVsEndpointArray quantifies the design choice
 // called out in DESIGN.md §5.2: exact mixed-weight sampling via a

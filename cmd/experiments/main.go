@@ -1,24 +1,32 @@
 // Command experiments runs the paper-reproduction experiment suite
-// (E1–E10, see DESIGN.md) and prints the EXPERIMENTS.md tables.
+// (E1–E11, see DESIGN.md) and prints the EXPERIMENTS.md tables.
 //
 // Usage:
 //
-//	experiments [-run E1,E4] [-scale 1.0] [-seed 2024] [-csv dir]
+//	experiments [-run E1,E4] [-scale 1.0] [-seed 2024] [-workers 0]
+//	            [-progress] [-csv dir]
 //
 // -scale shrinks workload sizes and replication counts proportionally
-// (0.1 gives a quick smoke run); -csv additionally writes every table
-// as a CSV file into the given directory.
+// (0.1 gives a quick smoke run); -workers bounds the trial worker pool
+// (0 uses every core; output is bit-identical for every worker count
+// under the same seed); -progress streams per-trial completions to
+// stderr; -csv additionally writes every table as a CSV file into the
+// given directory. Ctrl-C cancels the run between trials.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"scalefree/internal/experiment"
+	"scalefree/internal/experiment/engine"
 )
 
 func main() {
@@ -30,12 +38,17 @@ func main() {
 
 func run() error {
 	var (
-		runList = flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full EXPERIMENTS.md workload)")
-		seed    = flag.Uint64("seed", 2024, "master seed")
-		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files (optional)")
+		runList  = flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full EXPERIMENTS.md workload)")
+		seed     = flag.Uint64("seed", 2024, "master seed")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "stream per-trial completions to stderr")
+		csvDir   = flag.String("csv", "", "directory to also write per-table CSV files (optional)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var selected []experiment.Experiment
 	if *runList == "all" {
@@ -45,7 +58,7 @@ func run() error {
 			id = strings.TrimSpace(id)
 			e, ok := experiment.ByID(id)
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: E1..E10)", id)
+				return fmt.Errorf("unknown experiment %q (known: E1..E11)", id)
 			}
 			selected = append(selected, e)
 		}
@@ -58,11 +71,23 @@ func run() error {
 
 	cfg := experiment.Config{Seed: *seed, Scale: *scale}
 	for _, e := range selected {
-		fmt.Printf("=== %s: %s (scale %.2f, seed %d)\n", e.ID, e.Title, *scale, *seed)
+		fmt.Printf("=== %s: %s (scale %.2f, seed %d, workers %d)\n",
+			e.ID, e.Title, *scale, *seed, *workers)
+		opts := engine.Options{Workers: *workers}
+		if *progress {
+			opts.Progress = func(p engine.Progress) {
+				status := "ok"
+				if p.Err != nil {
+					status = "FAIL: " + p.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%v) %s\n",
+					p.Done, p.Total, p.Trial.Key, p.Elapsed.Round(time.Millisecond), status)
+			}
+		}
 		start := time.Now()
-		tables, err := e.Run(cfg)
+		tables, err := e.RunContext(ctx, cfg, opts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return err
 		}
 		fmt.Printf("    completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 		for ti, tab := range tables {

@@ -5,23 +5,29 @@
 // Usage:
 //
 //	searchbench -model mori -p 0.5 -m 1 -algo degree-greedy-weak \
-//	            -sizes 512,1024,2048 -reps 24 [-budget 0] [-seed 1]
+//	            -sizes 512,1024,2048 -reps 24 [-budget 0] [-seed 1] [-workers 0]
 //
 // Models: mori (flags -p, -m) and cf (flags -alpha, -beta, -gamma,
 // -delta). Algorithms: any name from the weak or strong suite; use
-// -list to print them.
+// -list to print them. Replications run on the trial engine's worker
+// pool (-workers 0 uses every core); the measured table is bit-identical
+// for every worker count under the same seed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/core"
 	"scalefree/internal/experiment"
+	"scalefree/internal/experiment/engine"
 	"scalefree/internal/mori"
 	"scalefree/internal/search"
 )
@@ -47,9 +53,13 @@ func run() error {
 		reps     = flag.Int("reps", 24, "replications per size")
 		budget   = flag.Int("budget", 0, "request budget per run (0 = unlimited)")
 		seed     = flag.Uint64("seed", 1, "master seed")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list algorithms and exit")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		fmt.Println("weak model:")
@@ -91,12 +101,12 @@ func run() error {
 		return fmt.Errorf("unknown model %q (mori or cf)", *model)
 	}
 
-	res, err := core.MeasureScaling(sizes, genFor, boundFor, core.SearchSpec{
+	res, err := core.MeasureScalingContext(ctx, sizes, genFor, boundFor, core.SearchSpec{
 		Algorithm: algo,
 		Reps:      *reps,
 		Budget:    *budget,
 		Seed:      *seed,
-	})
+	}, engine.Options{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -22,8 +22,10 @@
 //     probability, and the Lemma-1 bound |V|·P(E)/2
 //     (internal/equivalence, internal/core);
 //   - an experiment harness regenerating every quantitative claim as a
-//     table (internal/experiment, cmd/experiments, bench_test.go).
+//     table: experiments E1–E11 declared as trial plans and executed on
+//     a deterministic worker pool (internal/experiment,
+//     internal/experiment/engine, cmd/experiments, bench_test.go).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results.
+// See DESIGN.md for the system inventory and execution architecture,
+// and EXPERIMENTS.md for paper-versus-measured results.
 package scalefree

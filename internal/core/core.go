@@ -15,10 +15,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/equivalence"
+	"scalefree/internal/experiment/engine"
 	"scalefree/internal/graph"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
@@ -94,66 +96,99 @@ type Measurement struct {
 	Samples []float64
 }
 
-// MeasureSearch runs spec.Reps independent replications: each draws a
-// fresh graph from gen and runs the algorithm once. Graph generation
-// and the search consume independent RNG streams derived from Seed, so
-// algorithm randomness never perturbs the graph distribution.
-func MeasureSearch(gen GraphGen, spec SearchSpec) (Measurement, error) {
-	if err := spec.validate(); err != nil {
-		return Measurement{}, err
+// SearchOutcome is the result of one search replication.
+type SearchOutcome struct {
+	Requests float64
+	Found    bool
+}
+
+// MeasureOne runs replication rep of spec: it draws a fresh graph from
+// gen and runs the algorithm once. The outcome is a pure function of
+// (spec, rep) — graph generation, the search, and the oracle shuffle
+// consume the disjoint streams 3·rep, 3·rep+1, 3·rep+2 of spec.Seed,
+// so no stream is ever reused across replications or roles — and
+// replications can execute in any order, on any goroutine, and still
+// reproduce the serial measurement bit for bit.
+func MeasureOne(gen GraphGen, spec SearchSpec, rep int) (SearchOutcome, error) {
+	if spec.Algorithm == nil {
+		return SearchOutcome{}, fmt.Errorf("core: SearchSpec.Algorithm is nil")
 	}
-	requests := make([]float64, 0, spec.Reps)
+	gr := rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep)))
+	sr := rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep+1)))
+	g, err := gen(gr)
+	if err != nil {
+		return SearchOutcome{}, fmt.Errorf("core: generating graph for rep %d: %w", rep, err)
+	}
+	start := spec.Start
+	if start == 0 {
+		start = 1
+	}
+	if spec.RandomStart {
+		start = graph.Vertex(sr.IntRange(1, g.NumVertices()))
+	}
+	target := spec.Target
+	if target == 0 {
+		target = graph.Vertex(g.NumVertices())
+	}
+	if spec.RandomTarget {
+		if g.NumVertices() < 2 {
+			return SearchOutcome{}, fmt.Errorf("core: rep %d: graph too small for a distinct random target", rep)
+		}
+		target = graph.Vertex(sr.IntRange(1, g.NumVertices()-1))
+		if target >= start {
+			target++
+		}
+	}
+	// The shuffled oracle censors slot order so identities leak only
+	// through the answers the paper's model defines.
+	o, err := search.NewOracleShuffled(g, start, target, spec.Algorithm.Knowledge(),
+		rng.DeriveSeed(spec.Seed, uint64(3*rep+2)))
+	if err != nil {
+		return SearchOutcome{}, fmt.Errorf("core: rep %d: %w", rep, err)
+	}
+	res, err := spec.Algorithm.Search(o, sr, spec.Budget)
+	if err != nil {
+		return SearchOutcome{}, fmt.Errorf("core: rep %d: %w", rep, err)
+	}
+	return SearchOutcome{Requests: float64(res.Requests), Found: res.Found}, nil
+}
+
+// NewMeasurement assembles per-replication outcomes (in replication
+// order) into a Measurement. It is the deterministic reduce step shared
+// by the serial and parallel measurement paths.
+func NewMeasurement(spec SearchSpec, outcomes []SearchOutcome) Measurement {
+	requests := make([]float64, len(outcomes))
 	found := 0
-	for rep := 0; rep < spec.Reps; rep++ {
-		gr := rng.New(rng.DeriveSeed(spec.Seed, uint64(2*rep)))
-		sr := rng.New(rng.DeriveSeed(spec.Seed, uint64(2*rep+1)))
-		g, err := gen(gr)
-		if err != nil {
-			return Measurement{}, fmt.Errorf("core: generating graph for rep %d: %w", rep, err)
-		}
-		start := spec.Start
-		if start == 0 {
-			start = 1
-		}
-		if spec.RandomStart {
-			start = graph.Vertex(sr.IntRange(1, g.NumVertices()))
-		}
-		target := spec.Target
-		if target == 0 {
-			target = graph.Vertex(g.NumVertices())
-		}
-		if spec.RandomTarget {
-			if g.NumVertices() < 2 {
-				return Measurement{}, fmt.Errorf("core: rep %d: graph too small for a distinct random target", rep)
-			}
-			target = graph.Vertex(sr.IntRange(1, g.NumVertices()-1))
-			if target >= start {
-				target++
-			}
-		}
-		// The shuffled oracle censors slot order so identities leak only
-		// through the answers the paper's model defines.
-		o, err := search.NewOracleShuffled(g, start, target, spec.Algorithm.Knowledge(),
-			rng.DeriveSeed(spec.Seed, uint64(3*rep+2)))
-		if err != nil {
-			return Measurement{}, fmt.Errorf("core: rep %d: %w", rep, err)
-		}
-		res, err := spec.Algorithm.Search(o, sr, spec.Budget)
-		if err != nil {
-			return Measurement{}, fmt.Errorf("core: rep %d: %w", rep, err)
-		}
-		if res.Found {
+	for i, o := range outcomes {
+		requests[i] = o.Requests
+		if o.Found {
 			found++
 		}
-		requests = append(requests, float64(res.Requests))
 	}
 	return Measurement{
 		Algorithm: spec.Algorithm.Name(),
 		Knowledge: spec.Algorithm.Knowledge(),
 		Requests:  stats.Summarize(requests),
-		FoundRate: float64(found) / float64(spec.Reps),
+		FoundRate: float64(found) / float64(len(outcomes)),
 		Samples:   requests,
-	}, nil
+	}
+}
+
+// MeasureSearch runs spec.Reps independent replications serially; see
+// MeasureOne for the per-replication contract.
+func MeasureSearch(gen GraphGen, spec SearchSpec) (Measurement, error) {
+	if err := spec.validate(); err != nil {
+		return Measurement{}, err
+	}
+	outcomes := make([]SearchOutcome, spec.Reps)
+	for rep := range outcomes {
+		o, err := MeasureOne(gen, spec, rep)
+		if err != nil {
+			return Measurement{}, err
+		}
+		outcomes[rep] = o
+	}
+	return NewMeasurement(spec, outcomes), nil
 }
 
 // ScalingPoint is one size of a scaling sweep.
@@ -171,40 +206,42 @@ type ScalingResult struct {
 	Fit       stats.ScalingFit
 }
 
-// MeasureScaling sweeps MeasureSearch over sizes. genFor returns the
-// generator for a given n; boundFor (optional) supplies the theorem
-// bound recorded next to each point.
+// MeasureScaling sweeps MeasureSearch over sizes serially. genFor
+// returns the generator for a given n; boundFor (optional) supplies the
+// theorem bound recorded next to each point.
 func MeasureScaling(sizes []int, genFor func(n int) GraphGen, boundFor func(n int) (float64, error), spec SearchSpec) (ScalingResult, error) {
-	if len(sizes) < 2 {
-		return ScalingResult{}, fmt.Errorf("core: scaling sweep needs at least 2 sizes, got %d", len(sizes))
+	return MeasureScalingContext(context.Background(), sizes, genFor, boundFor, spec,
+		engine.Options{Workers: 1})
+}
+
+// MeasureScalingContext is MeasureScaling on the trial engine: every
+// (size, replication) pair and every per-size bound evaluation becomes
+// one engine trial (see ScalingSweep for the decomposition and seed
+// scheme), executed on opts.Workers goroutines. The reduction is a pure
+// function of the positional trial results, so the result is
+// bit-identical for every worker count.
+func MeasureScalingContext(ctx context.Context, sizes []int, genFor func(n int) GraphGen, boundFor func(n int) (float64, error), spec SearchSpec, opts engine.Options) (ScalingResult, error) {
+	var bf func(n int, r *rng.RNG) (float64, error)
+	if boundFor != nil {
+		bf = func(n int, _ *rng.RNG) (float64, error) { return boundFor(n) }
 	}
-	out := ScalingResult{Algorithm: spec.Algorithm.Name()}
-	var ns, means []float64
-	for i, n := range sizes {
-		pointSpec := spec
-		pointSpec.Seed = rng.DeriveSeed(spec.Seed, uint64(1000+i))
-		m, err := MeasureSearch(genFor(n), pointSpec)
-		if err != nil {
-			return ScalingResult{}, fmt.Errorf("core: size %d: %w", n, err)
-		}
-		point := ScalingPoint{N: n, Measurement: m}
-		if boundFor != nil {
-			b, err := boundFor(n)
-			if err != nil {
-				return ScalingResult{}, fmt.Errorf("core: bound at size %d: %w", n, err)
-			}
-			point.Bound = b
-		}
-		out.Points = append(out.Points, point)
-		ns = append(ns, float64(n))
-		means = append(means, m.Requests.Mean)
-	}
-	fit, err := stats.FitScaling(ns, means)
+	sweep, err := NewScalingSweep(sizes, genFor, bf, spec)
 	if err != nil {
-		return ScalingResult{}, fmt.Errorf("core: fitting scaling: %w", err)
+		return ScalingResult{}, err
 	}
-	out.Fit = fit
-	return out, nil
+	st := sweep.Trials()
+	trials := make([]engine.Trial, len(st))
+	for i, t := range st {
+		trials[i] = engine.Trial{Index: i, Key: spec.Algorithm.Name() + "/" + t.Key, Seed: t.Seed}
+	}
+	results, err := engine.Run(ctx, trials, opts,
+		func(_ context.Context, t engine.Trial, r *rng.RNG) (any, error) {
+			return st[t.Index].Run(r)
+		})
+	if err != nil {
+		return ScalingResult{}, err
+	}
+	return sweep.Collect(results)
 }
 
 // Theorem1Bound returns the paper's Theorem-1 lower bound on the

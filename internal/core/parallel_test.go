@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"scalefree/internal/experiment/engine"
+	"scalefree/internal/mori"
+	"scalefree/internal/search"
+)
+
+// TestMeasureScalingContextMatchesSerial verifies the parallel scaling
+// sweep reproduces the serial MeasureScaling result exactly — same
+// summaries, same samples, same fit — for several worker counts.
+func TestMeasureScalingContextMatchesSerial(t *testing.T) {
+	sizes := []int{64, 128, 256}
+	spec := SearchSpec{
+		Algorithm: search.NewDegreeGreedyWeak(),
+		Reps:      8,
+		Seed:      1234,
+	}
+	genFor := func(n int) GraphGen { return MoriGen(mori.Config{N: n, M: 1, P: 0.5}) }
+	boundFor := func(n int) (float64, error) { return Theorem1Bound(n, 0.5) }
+
+	serial, err := MeasureScaling(sizes, genFor, boundFor, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 32} {
+		parallel, err := MeasureScalingContext(context.Background(), sizes, genFor, boundFor, spec,
+			engine.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d result differs from serial:\nserial:   %+v\nparallel: %+v",
+				workers, serial, parallel)
+		}
+	}
+}
+
+// TestMeasureOneMatchesMeasureSearch pins the per-replication
+// decomposition: MeasureSearch must be exactly the ordered sequence of
+// MeasureOne outcomes.
+func TestMeasureOneMatchesMeasureSearch(t *testing.T) {
+	spec := SearchSpec{
+		Algorithm: search.NewDegreeGreedyWeak(),
+		Reps:      6,
+		Seed:      99,
+	}
+	gen := MoriGen(mori.Config{N: 128, M: 1, P: 0.5})
+	m, err := MeasureSearch(gen, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < spec.Reps; rep++ {
+		o, err := MeasureOne(gen, spec, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Requests != m.Samples[rep] {
+			t.Errorf("rep %d: MeasureOne requests %v != MeasureSearch sample %v",
+				rep, o.Requests, m.Samples[rep])
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"scalefree/internal/experiment/engine"
+)
+
+// renderAll renders every table of an experiment run into one string,
+// the byte-level artifact the determinism contract is stated over.
+func renderAll(t *testing.T, tables []Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tab := range tables {
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.CSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestWorkersOutputInvariance is the engine's core guarantee at the
+// experiment level: for the same Config, -workers N renders tables
+// byte-identical to -workers 1. E5 exercises per-replication trials,
+// E4 Monte-Carlo trials with per-trial RNGs, E7 shared-nothing
+// generation trials, E3 the RNG-consuming Monte-Carlo bound trials,
+// and E8 a reduce that joins samples across cells (Welch test).
+func TestWorkersOutputInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are not short")
+	}
+	cfg := Config{Seed: 2024, Scale: 0.05}
+	for _, id := range []string{"E3", "E4", "E5", "E7", "E8"} {
+		t.Run(id, func(t *testing.T) {
+			exp, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			serialTables, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := renderAll(t, serialTables)
+			for _, workers := range []int{4, 13} {
+				parallelTables, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if parallel := renderAll(t, parallelTables); parallel != serial {
+					t.Errorf("workers=%d output diverges from workers=1:\n--- workers=%d ---\n%s\n--- workers=1 ---\n%s",
+						workers, workers, parallel, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestRunMatchesRunContextSerial pins the convenience wrapper to the
+// engine path.
+func TestRunMatchesRunContextSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are not short")
+	}
+	exp, _ := ByID("E5")
+	cfg := Config{Seed: 7, Scale: 0.05}
+	a, err := exp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderAll(t, a) != renderAll(t, b) {
+		t.Error("Run and RunContext(workers=1) disagree")
+	}
+}
+
+// TestRunContextCancellation verifies a cancelled context aborts an
+// experiment run instead of silently producing tables.
+func TestRunContextCancellation(t *testing.T) {
+	exp, _ := ByID("E5")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := exp.RunContext(ctx, Config{Seed: 1, Scale: 0.05}, engine.Options{Workers: 2}); err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+}

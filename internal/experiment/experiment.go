@@ -1,9 +1,43 @@
+// Package experiment is the harness that regenerates every quantitative
+// claim of the paper (and of the related work it leans on) as a table:
+// experiments E1–E11 of DESIGN.md, each with its workload generator,
+// parameter sweep, baselines, and a renderer for the rows reported in
+// EXPERIMENTS.md.
+//
+// # The Trial / Reduce contract
+//
+// Every experiment declares its workload as a Plan: a flat list of
+// independent engine.Trials (each identifying a model, size,
+// replication index, and derived seed), a pure Run function mapping one
+// trial to its result, and a deterministic Reduce step that assembles
+// the positional result slice into Tables. The engine executes the
+// trials on a bounded worker pool (see internal/experiment/engine);
+// because Run is a pure function of (Trial, RNG-from-Trial.Seed) and
+// Reduce reads results by index, rendered output is bit-identical for
+// every worker count, including -workers 1.
+//
+// # Adding a new experiment
+//
+// Write a PlanEn(cfg Config) (*Plan, error) constructor: create a
+// planBuilder, append one trial per unit of independent work with
+// builder.add (deriving each trial's seed from cfg.seed so experiments
+// stay independent), capture the returned indices, and finish with
+// builder.build(reduce) where reduce formats the tables from
+// results-by-index. Scaling sweeps over (sizes × replications) should
+// go through addScalingCell, which reproduces core.MeasureScaling's
+// seed derivation trial by trial. Then register the constructor in
+// Registry with the next ID. Rules: never touch shared mutable state
+// inside a trial (shared read-only state built at plan time is fine),
+// and never let the reduce's output depend on anything but the result
+// values and plan order.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"scalefree/internal/experiment/engine"
 	"scalefree/internal/rng"
 )
 
@@ -47,27 +81,96 @@ func (c Config) seed(stream uint64) uint64 {
 	return rng.DeriveSeed(c.Seed, stream)
 }
 
+// Plan is the trial decomposition of one experiment at one Config:
+// what to run (Trials + Run) and how to assemble the output (Reduce).
+type Plan struct {
+	// Trials lists the independent units of work, in plan order.
+	Trials []engine.Trial
+	// Run executes one trial. It must be a pure function of (t, r) —
+	// and safe for concurrent invocation across trials.
+	Run func(ctx context.Context, t engine.Trial, r *rng.RNG) (any, error)
+	// Reduce assembles the positional trial results into tables. It
+	// must be deterministic and order-independent: results[i] is the
+	// output of Trials[i] regardless of completion order.
+	Reduce func(results []any) ([]Table, error)
+}
+
+// planBuilder accumulates trials and their closures in lockstep, so
+// experiment constructors can register work and remember where each
+// result will land.
+type planBuilder struct {
+	trials []engine.Trial
+	runs   []func(ctx context.Context, r *rng.RNG) (any, error)
+}
+
+func newPlanBuilder() *planBuilder { return &planBuilder{} }
+
+// add registers one trial and returns its index into the result slice.
+func (b *planBuilder) add(key string, seed uint64, run func(ctx context.Context, r *rng.RNG) (any, error)) int {
+	idx := len(b.trials)
+	b.trials = append(b.trials, engine.Trial{Index: idx, Key: key, Seed: seed})
+	b.runs = append(b.runs, run)
+	return idx
+}
+
+// build finalizes the plan with the given reduce step.
+func (b *planBuilder) build(reduce func(results []any) ([]Table, error)) *Plan {
+	return &Plan{
+		Trials: b.trials,
+		Run: func(ctx context.Context, t engine.Trial, r *rng.RNG) (any, error) {
+			return b.runs[t.Index](ctx, r)
+		},
+		Reduce: reduce,
+	}
+}
+
 // Experiment is one reproducible unit of the evaluation.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(cfg Config) ([]Table, error)
+	// Plan declares the experiment's workload at a given Config.
+	Plan func(cfg Config) (*Plan, error)
+}
+
+// Run regenerates the experiment's tables on a single worker — the
+// serial reference execution. Parallel runs (RunContext) produce
+// bit-identical tables under the same Config.
+func (e Experiment) Run(cfg Config) ([]Table, error) {
+	return e.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+}
+
+// RunContext plans the experiment, executes its trials on the engine
+// with the given options, and reduces the results into tables.
+func (e Experiment) RunContext(ctx context.Context, cfg Config, opts engine.Options) ([]Table, error) {
+	plan, err := e.Plan(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: planning: %w", e.ID, err)
+	}
+	results, err := engine.Run(ctx, plan.Trials, opts, plan.Run)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	tables, err := plan.Reduce(results)
+	if err != nil {
+		return nil, fmt.Errorf("%s: reducing: %w", e.ID, err)
+	}
+	return tables, nil
 }
 
 // Registry returns all experiments in ID order.
 func Registry() []Experiment {
 	exps := []Experiment{
-		{ID: "E1", Title: "Theorem 1 (weak model): Ω(√n) search cost in Móri graphs", Run: RunE1},
-		{ID: "E2", Title: "Theorem 1 (strong model): Ω(n^(1/2-p)) for p < 1/2", Run: RunE2},
-		{ID: "E3", Title: "Theorem 2: Ω(√n) search cost in Cooper–Frieze graphs (weak model)", Run: RunE3},
-		{ID: "E4", Title: "Lemmas 2-3: equivalence event probability, exact vs MC vs e^{-(1-p)}", Run: RunE4},
-		{ID: "E5", Title: "Móri max degree ~ n^p (vs Barabási–Albert n^(1/2))", Run: RunE5},
-		{ID: "E6", Title: "Degree distributions: power-law exponents per model", Run: RunE6},
-		{ID: "E7", Title: "Logarithmic distances: mean distance and diameter vs log n", Run: RunE7},
-		{ID: "E8", Title: "Adamic et al.: high-degree search vs random walk on power-law graphs", Run: RunE8},
-		{ID: "E9", Title: "Kleinberg navigability: greedy routing r-sweep vs Móri id-greedy", Run: RunE9},
-		{ID: "E10", Title: "Sarshar et al.: percolation search replication/broadcast sweep", Run: RunE10},
-		{ID: "E11", Title: "Extension: non-searchability of uniform attachment (p = 0)", Run: RunE11},
+		{ID: "E1", Title: "Theorem 1 (weak model): Ω(√n) search cost in Móri graphs", Plan: PlanE1},
+		{ID: "E2", Title: "Theorem 1 (strong model): Ω(n^(1/2-p)) for p < 1/2", Plan: PlanE2},
+		{ID: "E3", Title: "Theorem 2: Ω(√n) search cost in Cooper–Frieze graphs (weak model)", Plan: PlanE3},
+		{ID: "E4", Title: "Lemmas 2-3: equivalence event probability, exact vs MC vs e^{-(1-p)}", Plan: PlanE4},
+		{ID: "E5", Title: "Móri max degree ~ n^p (vs Barabási–Albert n^(1/2))", Plan: PlanE5},
+		{ID: "E6", Title: "Degree distributions: power-law exponents per model", Plan: PlanE6},
+		{ID: "E7", Title: "Logarithmic distances: mean distance and diameter vs log n", Plan: PlanE7},
+		{ID: "E8", Title: "Adamic et al.: high-degree search vs random walk on power-law graphs", Plan: PlanE8},
+		{ID: "E9", Title: "Kleinberg navigability: greedy routing r-sweep vs Móri id-greedy", Plan: PlanE9},
+		{ID: "E10", Title: "Sarshar et al.: percolation search replication/broadcast sweep", Plan: PlanE10},
+		{ID: "E11", Title: "Extension: non-searchability of uniform attachment (p = 0)", Plan: PlanE11},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// Numeric ID ordering: E2 before E10.

@@ -63,7 +63,7 @@ func TestRegistryComplete(t *testing.T) {
 		if want := i + 1; idNum(e.ID) != want {
 			t.Errorf("registry[%d] = %s, want E%d", i, e.ID, want)
 		}
-		if e.Title == "" || e.Run == nil {
+		if e.Title == "" || e.Plan == nil {
 			t.Errorf("%s incomplete", e.ID)
 		}
 	}

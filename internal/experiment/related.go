@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,22 +16,15 @@ import (
 	"scalefree/internal/stats"
 )
 
-// RunE8 reproduces Adamic et al.: on power-law configuration graphs
+// PlanE8 reproduces Adamic et al.: on power-law configuration graphs
 // with 2 < k < 3, high-degree (strong-model) search scales like
 // n^(2(1-2/k)) while the random walk scales like n^(3(1-2/k)) — greedy
-// wins, and both are sublinear.
-func RunE8(cfg Config) ([]Table, error) {
+// wins, and both are sublinear. The Welch separation test runs in the
+// reduce over the per-replication samples of the largest size.
+func PlanE8(cfg Config) (*Plan, error) {
 	sizes := cfg.sizes(1024, 4)
 	reps := cfg.scaleInt(60, 8)
-	table := &Table{
-		Title: "E8  Adamic et al. — search on power-law configuration graphs (giant component)",
-		Columns: []string{"algorithm", "k", "n(max)", "mean@max",
-			"fit-exponent", "±se", "theory-exponent", "found-rate"},
-		Notes: []string{
-			"theory: greedy 2(1-2/k), walk 3(1-2/k); mean-field, so shape not constants",
-			fmt.Sprintf("sizes %v (pre-extraction), %d reps, random start and target", sizes, reps),
-		},
-	}
+	b := newPlanBuilder()
 	algos := []struct {
 		alg    search.Algorithm
 		theory func(k float64) float64
@@ -38,15 +32,14 @@ func RunE8(cfg Config) ([]Table, error) {
 		{search.NewDegreeGreedyStrong(), core.AdamicGreedyExponent},
 		{search.NewRandomWalkStrong(), core.AdamicWalkExponent},
 	}
-	welch := &Table{
-		Title:   "E8b  Greedy vs walk separation at the largest size (Welch t-test)",
-		Columns: []string{"k", "greedy-mean", "walk-mean", "t", "p-value", "greedy-wins"},
-		Notes:   []string{"the paper's related-work claim: high-degree search beats the walk"},
+	type cell struct {
+		k       float64
+		ai      int
+		collect cellCollector
 	}
+	var cells []cell
 	stream := uint64(700)
 	for _, k := range []float64{2.1, 2.3, 2.5} {
-		lastSamples := make([][]float64, len(algos))
-		lastMeans := make([]float64, len(algos))
 		for ai, a := range algos {
 			stream++
 			spec := core.SearchSpec{
@@ -57,149 +50,252 @@ func RunE8(cfg Config) ([]Table, error) {
 				RandomTarget: true,
 				Budget:       walkBudgetFactor * sizes[len(sizes)-1],
 			}
-			gen := func(n int) core.GraphGen {
-				return func(r *rng.RNG) (*graph.Graph, error) {
-					g, _, err := configmodel.Config{N: n, Exponent: k, MinDeg: 2}.GenerateGiant(r)
-					return g, err
-				}
-			}
-			res, err := core.MeasureScaling(sizes, gen, nil, spec)
+			collect := addScalingCell(b,
+				fmt.Sprintf("E8/k=%v/%s", k, a.alg.Name()), sizes,
+				func(n int) core.GraphGen {
+					return func(r *rng.RNG) (*graph.Graph, error) {
+						g, _, err := configmodel.Config{N: n, Exponent: k, MinDeg: 2}.GenerateGiant(r)
+						return g, err
+					}
+				},
+				nil, spec)
+			cells = append(cells, cell{k: k, ai: ai, collect: collect})
+		}
+	}
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title: "E8  Adamic et al. — search on power-law configuration graphs (giant component)",
+			Columns: []string{"algorithm", "k", "n(max)", "mean@max",
+				"fit-exponent", "±se", "theory-exponent", "found-rate"},
+			Notes: []string{
+				"theory: greedy 2(1-2/k), walk 3(1-2/k); mean-field, so shape not constants",
+				fmt.Sprintf("sizes %v (pre-extraction), %d reps, random start and target", sizes, reps),
+			},
+		}
+		welch := &Table{
+			Title:   "E8b  Greedy vs walk separation at the largest size (Welch t-test)",
+			Columns: []string{"k", "greedy-mean", "walk-mean", "t", "p-value", "greedy-wins"},
+			Notes:   []string{"the paper's related-work claim: high-degree search beats the walk"},
+		}
+		lastSamples := map[float64][][]float64{}
+		lastMeans := map[float64][]float64{}
+		var ks []float64
+		for _, c := range cells {
+			a := algos[c.ai]
+			res, err := c.collect(results)
 			if err != nil {
-				return nil, fmt.Errorf("E8 k=%v %s: %w", k, a.alg.Name(), err)
+				return nil, fmt.Errorf("E8 k=%v %s: %w", c.k, a.alg.Name(), err)
 			}
 			last := res.Points[len(res.Points)-1]
-			lastSamples[ai] = last.Measurement.Samples
-			lastMeans[ai] = last.Measurement.Requests.Mean
-			table.AddRow(a.alg.Name(), k, last.N,
+			if c.ai == 0 {
+				ks = append(ks, c.k)
+				lastSamples[c.k] = make([][]float64, len(algos))
+				lastMeans[c.k] = make([]float64, len(algos))
+			}
+			lastSamples[c.k][c.ai] = last.Measurement.Samples
+			lastMeans[c.k][c.ai] = last.Measurement.Requests.Mean
+			table.AddRow(a.alg.Name(), c.k, last.N,
 				last.Measurement.Requests.Mean,
 				res.Fit.Exponent, res.Fit.ExponentSE,
-				a.theory(k),
+				a.theory(c.k),
 				last.Measurement.FoundRate)
 		}
-		wres, err := stats.WelchTTest(lastSamples[0], lastSamples[1])
-		if err != nil {
-			return nil, fmt.Errorf("E8 Welch k=%v: %w", k, err)
+		for _, k := range ks {
+			wres, err := stats.WelchTTest(lastSamples[k][0], lastSamples[k][1])
+			if err != nil {
+				return nil, fmt.Errorf("E8 Welch k=%v: %w", k, err)
+			}
+			welch.AddRow(k, lastMeans[k][0], lastMeans[k][1], wres.T, wres.PValue,
+				fmt.Sprintf("%v", lastMeans[k][0] < lastMeans[k][1]))
 		}
-		welch.AddRow(k, lastMeans[0], lastMeans[1], wres.T, wres.PValue,
-			fmt.Sprintf("%v", lastMeans[0] < lastMeans[1]))
-	}
-	return []Table{*table, *welch}, nil
+		return []Table{*table, *welch}, nil
+	}), nil
 }
 
-// RunE9 reproduces the navigability contrast: Kleinberg greedy routing
+// PlanE9 reproduces the navigability contrast: Kleinberg greedy routing
 // across the long-range exponent r, side by side with the best
 // label-greedy searcher on a Móri graph of comparable size. Only the
 // grid at r = 2 stays polylogarithmic; the scale-free searcher pays the
-// Ω(√n) toll.
-func RunE9(cfg Config) ([]Table, error) {
+// Ω(√n) toll. One trial per (r, L) routing cell and one per contrast
+// size.
+func PlanE9(cfg Config) (*Plan, error) {
 	reps := cfg.scaleInt(300, 50)
-	grid := &Table{
-		Title:   "E9a  Kleinberg greedy routing: mean steps per delivery",
-		Columns: []string{"r", "L=32", "L=64", "L=128", "ln²(n) @128"},
-		Notes: []string{
-			"r = 2 is the navigable exponent (O(log² n)); r < 2 grows as L^((2-r)/3)·…, r > 2 as a higher power",
-			"finite-size note: the r<2 polynomial separation emerges slowly; r=3 is already clearly worse",
-		},
-	}
+	searchReps := cfg.scaleInt(24, 6)
+	b := newPlanBuilder()
 	ls := []int{32, 64, 128}
-	for _, rExp := range []float64{0, 1, 2, 3} {
-		row := []interface{}{rExp}
+	rExps := []float64{0, 1, 2, 3}
+
+	// Grid cells keep the historical seeding: the graph stream depends
+	// only on L, the source stream on L — so numbers match the serial
+	// harness exactly.
+	gridIdx := make([][]int, len(rExps)) // [rExp][li] -> trial index
+	for ri, rExp := range rExps {
+		gridIdx[ri] = make([]int, len(ls))
 		for li, L := range ls {
-			g, err := kleinberg.Config{L: L, R: rExp}.Generate(rng.New(cfg.seed(800 + uint64(li))))
-			if err != nil {
-				return nil, fmt.Errorf("E9 L=%d r=%v: %w", L, rExp, err)
-			}
-			src := rng.New(cfg.seed(820 + uint64(li)))
-			total := 0
-			n := L * L
-			for i := 0; i < reps; i++ {
-				s := graph.Vertex(src.IntRange(1, n))
-				t := graph.Vertex(src.IntRange(1, n))
-				total += g.GreedyRoute(s, t, 0).Steps
-			}
-			row = append(row, float64(total)/float64(reps))
+			gridIdx[ri][li] = b.add(
+				fmt.Sprintf("E9a/r=%v/L=%d", rExp, L),
+				cfg.seed(800+uint64(li)),
+				func(_ context.Context, _ *rng.RNG) (any, error) {
+					g, err := kleinberg.Config{L: L, R: rExp}.Generate(rng.New(cfg.seed(800 + uint64(li))))
+					if err != nil {
+						return nil, fmt.Errorf("E9 L=%d r=%v: %w", L, rExp, err)
+					}
+					src := rng.New(cfg.seed(820 + uint64(li)))
+					total := 0
+					n := L * L
+					for i := 0; i < reps; i++ {
+						s := graph.Vertex(src.IntRange(1, n))
+						t := graph.Vertex(src.IntRange(1, n))
+						total += g.GreedyRoute(s, t, 0).Steps
+					}
+					return float64(total) / float64(reps), nil
+				})
 		}
-		lnN := logSquared(ls[len(ls)-1])
-		row = append(row, lnN)
-		grid.AddRow(row...)
 	}
 
-	contrast := &Table{
-		Title:   "E9b  Scale-free contrast: id-greedy search on Móri graphs (weak model)",
-		Columns: []string{"n", "mean-requests", "√n", "theorem bound"},
-		Notes:   []string{"same identity-greedy idea as geographic greedy routing, defeated by Ω(√n)"},
+	// Contrast cells: one trial per size, each a full MeasureSearch
+	// replication set (the per-size seeds match the serial harness).
+	contrastSizes := make([]int, 0, 3)
+	for _, n := range []int{1024, 4096, 16384} {
+		contrastSizes = append(contrastSizes, cfg.scaleInt(n, 128))
 	}
-	searchReps := cfg.scaleInt(24, 6)
-	for i, n := range []int{1024, 4096, 16384} {
-		n = cfg.scaleInt(n, 128)
-		m, err := core.MeasureSearch(
-			core.MoriGen(mori.Config{N: n, M: 1, P: 0.5}),
-			core.SearchSpec{
-				Algorithm: search.NewIDGreedyWeak(),
-				Reps:      searchReps,
-				Seed:      cfg.seed(850 + uint64(i)),
+	contrastIdx := make([]int, len(contrastSizes))
+	for i, n := range contrastSizes {
+		seed := cfg.seed(850 + uint64(i))
+		contrastIdx[i] = b.add(
+			fmt.Sprintf("E9b/n=%d", n), seed,
+			func(_ context.Context, _ *rng.RNG) (any, error) {
+				return core.MeasureSearch(
+					core.MoriGen(mori.Config{N: n, M: 1, P: 0.5}),
+					core.SearchSpec{
+						Algorithm: search.NewIDGreedyWeak(),
+						Reps:      searchReps,
+						Seed:      seed,
+					})
 			})
-		if err != nil {
-			return nil, fmt.Errorf("E9 contrast n=%d: %w", n, err)
-		}
-		bound, err := core.Theorem1Bound(n, 0.5)
-		if err != nil {
-			return nil, err
-		}
-		contrast.AddRow(n, m.Requests.Mean, sqrtf(n), bound)
 	}
-	return []Table{*grid, *contrast}, nil
+
+	return b.build(func(results []any) ([]Table, error) {
+		grid := &Table{
+			Title:   "E9a  Kleinberg greedy routing: mean steps per delivery",
+			Columns: []string{"r", "L=32", "L=64", "L=128", "ln²(n) @128"},
+			Notes: []string{
+				"r = 2 is the navigable exponent (O(log² n)); r < 2 grows as L^((2-r)/3)·…, r > 2 as a higher power",
+				"finite-size note: the r<2 polynomial separation emerges slowly; r=3 is already clearly worse",
+			},
+		}
+		for ri, rExp := range rExps {
+			row := []interface{}{rExp}
+			for li := range ls {
+				mean, ok := results[gridIdx[ri][li]].(float64)
+				if !ok {
+					return nil, fmt.Errorf("E9a r=%v L=%d: result type %T", rExp, ls[li], results[gridIdx[ri][li]])
+				}
+				row = append(row, mean)
+			}
+			row = append(row, logSquared(ls[len(ls)-1]))
+			grid.AddRow(row...)
+		}
+
+		contrast := &Table{
+			Title:   "E9b  Scale-free contrast: id-greedy search on Móri graphs (weak model)",
+			Columns: []string{"n", "mean-requests", "√n", "theorem bound"},
+			Notes:   []string{"same identity-greedy idea as geographic greedy routing, defeated by Ω(√n)"},
+		}
+		for i, n := range contrastSizes {
+			m, ok := results[contrastIdx[i]].(core.Measurement)
+			if !ok {
+				return nil, fmt.Errorf("E9b n=%d: result type %T", n, results[contrastIdx[i]])
+			}
+			bound, err := core.Theorem1Bound(n, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			contrast.AddRow(n, m.Requests.Mean, sqrtf(n), bound)
+		}
+		return []Table{*grid, *contrast}, nil
+	}), nil
 }
 
-// RunE10 reproduces Sarshar et al.'s percolation search on a power-law
+// PlanE10 reproduces Sarshar et al.'s percolation search on a power-law
 // giant component: hit rate and message cost across replication walk
-// lengths and broadcast probabilities.
-func RunE10(cfg Config) ([]Table, error) {
+// lengths and broadcast probabilities. The giant component is generated
+// once at plan time and shared read-only by the per-(walk, q) trials.
+func PlanE10(cfg Config) (*Plan, error) {
 	n := cfg.scaleInt(1<<14, 2048)
 	queries := cfg.scaleInt(60, 15)
 	g, _, err := configmodel.Config{N: n, Exponent: 2.3, MinDeg: 1}.GenerateGiant(rng.New(cfg.seed(900)))
 	if err != nil {
 		return nil, fmt.Errorf("E10 generating graph: %w", err)
 	}
-	table := &Table{
-		Title:   "E10  Percolation search (Sarshar et al.) on a k=2.3 giant component",
-		Columns: []string{"replication-walk", "broadcast-q", "hit-rate", "mean-messages", "msg/edges", "mean-reached"},
-		Notes: []string{
-			fmt.Sprintf("giant component: %d vertices, %d edges; %d queries per cell",
-				g.NumVertices(), g.NumEdges(), queries),
-			"claim: sublinear traffic with high hit rate once replication is polynomial in n",
-		},
+	b := newPlanBuilder()
+
+	type cellResult struct {
+		hits, msgs, reached int
 	}
-	r := rng.New(cfg.seed(901))
+	type cell struct {
+		walk int
+		q    float64
+		idx  int
+	}
+	var cells []cell
 	nv := g.NumVertices()
+	queryBase := cfg.seed(901)
+	stream := uint64(0)
 	for _, walk := range []int{isqrtInt(nv) / 2, isqrtInt(nv), 2 * isqrtInt(nv)} {
 		for _, q := range []float64{0.1, 0.2, 0.3} {
-			hits, msgs, reached := 0, 0, 0
-			for i := 0; i < queries; i++ {
-				origin := graph.Vertex(r.IntRange(1, nv))
-				replicas := percolation.Replicate(g, r, origin, walk)
-				start := graph.Vertex(r.IntRange(1, nv))
-				res, err := percolation.Query(g, r, replicas, start, percolation.Config{
-					QueryWalk:     walk / 2,
-					BroadcastProb: q,
+			stream++
+			idx := b.add(
+				fmt.Sprintf("E10/walk=%d/q=%v", walk, q),
+				rng.DeriveSeed(queryBase, stream),
+				func(_ context.Context, r *rng.RNG) (any, error) {
+					hits, msgs, reached := 0, 0, 0
+					for i := 0; i < queries; i++ {
+						origin := graph.Vertex(r.IntRange(1, nv))
+						replicas := percolation.Replicate(g, r, origin, walk)
+						start := graph.Vertex(r.IntRange(1, nv))
+						res, err := percolation.Query(g, r, replicas, start, percolation.Config{
+							QueryWalk:     walk / 2,
+							BroadcastProb: q,
+						})
+						if err != nil {
+							return nil, fmt.Errorf("E10 walk=%d q=%v: %w", walk, q, err)
+						}
+						if res.Hit {
+							hits++
+						}
+						msgs += res.Messages
+						reached += res.Reached
+					}
+					return cellResult{hits: hits, msgs: msgs, reached: reached}, nil
 				})
-				if err != nil {
-					return nil, fmt.Errorf("E10 walk=%d q=%v: %w", walk, q, err)
-				}
-				if res.Hit {
-					hits++
-				}
-				msgs += res.Messages
-				reached += res.Reached
-			}
-			table.AddRow(walk, q,
-				float64(hits)/float64(queries),
-				float64(msgs)/float64(queries),
-				float64(msgs)/float64(queries)/float64(g.NumEdges()),
-				float64(reached)/float64(queries))
+			cells = append(cells, cell{walk: walk, q: q, idx: idx})
 		}
 	}
-	return []Table{*table}, nil
+
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title:   "E10  Percolation search (Sarshar et al.) on a k=2.3 giant component",
+			Columns: []string{"replication-walk", "broadcast-q", "hit-rate", "mean-messages", "msg/edges", "mean-reached"},
+			Notes: []string{
+				fmt.Sprintf("giant component: %d vertices, %d edges; %d queries per cell",
+					g.NumVertices(), g.NumEdges(), queries),
+				"claim: sublinear traffic with high hit rate once replication is polynomial in n",
+			},
+		}
+		for _, c := range cells {
+			cr, ok := results[c.idx].(cellResult)
+			if !ok {
+				return nil, fmt.Errorf("E10 walk=%d q=%v: result type %T", c.walk, c.q, results[c.idx])
+			}
+			table.AddRow(c.walk, c.q,
+				float64(cr.hits)/float64(queries),
+				float64(cr.msgs)/float64(queries),
+				float64(cr.msgs)/float64(queries)/float64(g.NumEdges()),
+				float64(cr.reached)/float64(queries))
+		}
+		return []Table{*table}, nil
+	}), nil
 }
 
 func logSquared(l int) float64 {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,47 +13,44 @@ import (
 	"scalefree/internal/stats"
 )
 
-// RunE5 fits the growth exponent of the maximum indegree: Móri's
+// PlanE5 fits the growth exponent of the maximum indegree: Móri's
 // theorem gives Δ(n) ~ n^p for the Móri tree, versus n^(1/2) for
 // Barabási–Albert — the contrast that decides whether the strong-model
-// reduction is non-trivial.
-func RunE5(cfg Config) ([]Table, error) {
+// reduction is non-trivial. Every (model, size, replication) generation
+// is one trial.
+func PlanE5(cfg Config) (*Plan, error) {
 	sizes := cfg.sizes(2048, 5)
 	reps := cfg.scaleInt(10, 3)
-	table := &Table{
-		Title:   "E5  Maximum-degree growth Δ(n) ~ n^β",
-		Columns: []string{"model", "expected β", "fitted β", "±se", "R2", "Δ at n(max)"},
-		Notes: []string{
-			"Móri strong-model bound needs β < 1/2, i.e. p < 1/2 (paper, Conclusion)",
-			fmt.Sprintf("sizes %v, %d reps per point (mean of max indegree)", sizes, reps),
-		},
+	b := newPlanBuilder()
+
+	type cell struct {
+		name     string
+		expected float64
+		idx      [][]int // [size][rep] -> trial index
 	}
-	measure := func(name string, expected float64, gen func(n int, r *rng.RNG) (int, error), stream uint64) error {
-		var ns, maxes []float64
+	var cells []cell
+	addCell := func(name string, expected float64, gen func(n int, r *rng.RNG) (int, error), stream uint64) {
+		c := cell{name: name, expected: expected, idx: make([][]int, len(sizes))}
+		cellSeed := cfg.seed(400 + stream)
 		for i, n := range sizes {
-			total := 0.0
+			c.idx[i] = make([]int, reps)
 			for rep := 0; rep < reps; rep++ {
-				r := rng.New(rng.DeriveSeed(cfg.seed(400+stream), uint64(i*1000+rep)))
-				d, err := gen(n, r)
-				if err != nil {
-					return err
-				}
-				total += float64(d)
+				// Seed derivation matches the historical serial harness:
+				// one stream per (size, replication) pair.
+				c.idx[i][rep] = b.add(
+					fmt.Sprintf("E5/%s/n=%d/rep=%d", name, n, rep),
+					rng.DeriveSeed(cellSeed, uint64(i*1000+rep)),
+					func(_ context.Context, r *rng.RNG) (any, error) {
+						d, err := gen(n, r)
+						return float64(d), err
+					})
 			}
-			ns = append(ns, float64(n))
-			maxes = append(maxes, total/float64(reps))
 		}
-		fit, err := stats.FitScaling(ns, maxes)
-		if err != nil {
-			return err
-		}
-		table.AddRow(name, expected, fit.Exponent, fit.ExponentSE, fit.R2, maxes[len(maxes)-1])
-		return nil
+		cells = append(cells, c)
 	}
 
 	for i, p := range []float64{0.25, 0.5, 0.75, 1.0} {
-		p := p
-		err := measure(fmt.Sprintf("mori p=%.2f", p), p, func(n int, r *rng.RNG) (int, error) {
+		addCell(fmt.Sprintf("mori p=%.2f", p), p, func(n int, r *rng.RNG) (int, error) {
 			t, err := mori.GenerateTree(r, n, p)
 			if err != nil {
 				return 0, err
@@ -65,112 +63,168 @@ func RunE5(cfg Config) ([]Table, error) {
 			}
 			return best, nil
 		}, uint64(i))
-		if err != nil {
-			return nil, fmt.Errorf("E5 mori p=%v: %w", p, err)
-		}
 	}
-	err := measure("barabasi-albert m=1", 0.5, func(n int, r *rng.RNG) (int, error) {
+	addCell("barabasi-albert m=1", 0.5, func(n int, r *rng.RNG) (int, error) {
 		g, err := ba.Config{N: n, M: 1}.Generate(r)
 		if err != nil {
 			return 0, err
 		}
 		return g.MaxDegree(), nil
 	}, 50)
-	if err != nil {
-		return nil, fmt.Errorf("E5 ba: %w", err)
-	}
-	return []Table{*table}, nil
+
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title:   "E5  Maximum-degree growth Δ(n) ~ n^β",
+			Columns: []string{"model", "expected β", "fitted β", "±se", "R2", "Δ at n(max)"},
+			Notes: []string{
+				"Móri strong-model bound needs β < 1/2, i.e. p < 1/2 (paper, Conclusion)",
+				fmt.Sprintf("sizes %v, %d reps per point (mean of max indegree)", sizes, reps),
+			},
+		}
+		for _, c := range cells {
+			var ns, maxes []float64
+			for i, n := range sizes {
+				total := 0.0
+				for _, idx := range c.idx[i] {
+					d, ok := results[idx].(float64)
+					if !ok {
+						return nil, fmt.Errorf("E5 %s n=%d: result type %T", c.name, n, results[idx])
+					}
+					total += d
+				}
+				ns = append(ns, float64(n))
+				maxes = append(maxes, total/float64(reps))
+			}
+			fit, err := stats.FitScaling(ns, maxes)
+			if err != nil {
+				return nil, fmt.Errorf("E5 %s: %w", c.name, err)
+			}
+			table.AddRow(c.name, c.expected, fit.Exponent, fit.ExponentSE, fit.R2, maxes[len(maxes)-1])
+		}
+		return []Table{*table}, nil
+	}), nil
 }
 
-// RunE6 fits power-law exponents to the degree distributions of every
+// PlanE6 fits power-law exponents to the degree distributions of every
 // model — the scale-free premise of the paper. For the indegree-based
 // Móri tree (attachment weight p·d_in + (1-p), i.e. d_in + β with
 // β = (1-p)/p after normalization) the degree exponent is 2 + β =
 // 1 + 1/p; for BA (total degree) it is 3; the configuration model
-// reproduces its input exponent by construction.
-func RunE6(cfg Config) ([]Table, error) {
+// reproduces its input exponent by construction. One trial per model:
+// generate the graph and fit its tail.
+func PlanE6(cfg Config) (*Plan, error) {
 	n := cfg.scaleInt(1<<15, 2048)
-	table := &Table{
-		Title:   "E6  Degree distributions (total degree, MLE tail fit)",
-		Columns: []string{"model", "n", "expected α", "fitted α", "±se", "xmin", "ccdf-slope+1", "max-degree"},
-		Notes: []string{
-			"expected: Móri tree 1+1/p (indegree attachment); BA 3; config model its input k; CF depends on (α,β,γ,δ)",
-			"ccdf-slope+1 is the log-log CCDF regression estimate of α (CCDF decays with α-1)",
-		},
+	b := newPlanBuilder()
+
+	type fitResult struct {
+		n      int
+		alpha  float64
+		stderr float64
+		xmin   int
+		slope1 float64
+		maxDeg int
 	}
-	addFit := func(name string, expected float64, g *graph.Graph) error {
+	fitGraph := func(g *graph.Graph) (any, error) {
 		degs := g.Degrees()[1:]
 		fit, err := stats.FitPowerLawAuto(degs, 50)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ccdf := stats.HistogramOf(degs).CCDF()
 		slope, _, err := stats.CCDFLogLogSlope(ccdf, fit.Xmin)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		expectedCell := "-"
-		if expected > 0 {
-			expectedCell = formatFloat(expected)
-		}
-		table.AddRow(name, g.NumVertices(), expectedCell, fit.Alpha, fit.StdErr, fit.Xmin, slope+1, g.MaxDegree())
-		return nil
+		return fitResult{n: g.NumVertices(), alpha: fit.Alpha, stderr: fit.StdErr,
+			xmin: fit.Xmin, slope1: slope + 1, maxDeg: g.MaxDegree()}, nil
+	}
+
+	type cell struct {
+		name     string
+		expected float64
+		idx      int
+	}
+	var cells []cell
+	addCell := func(name string, expected float64, seed uint64, gen func(r *rng.RNG) (*graph.Graph, error)) {
+		idx := b.add("E6/"+name, seed, func(_ context.Context, r *rng.RNG) (any, error) {
+			g, err := gen(r)
+			if err != nil {
+				return nil, err
+			}
+			return fitGraph(g)
+		})
+		cells = append(cells, cell{name: name, expected: expected, idx: idx})
 	}
 
 	for i, p := range []float64{0.5, 0.75, 1.0} {
-		tree, err := mori.GenerateTree(rng.New(cfg.seed(500+uint64(i))), n, p)
-		if err != nil {
-			return nil, err
-		}
-		if err := addFit(fmt.Sprintf("mori tree p=%.2f", p), 1+1/p, tree.Graph()); err != nil {
-			return nil, fmt.Errorf("E6 mori p=%v: %w", p, err)
-		}
+		addCell(fmt.Sprintf("mori tree p=%.2f", p), 1+1/p, cfg.seed(500+uint64(i)),
+			func(r *rng.RNG) (*graph.Graph, error) {
+				t, err := mori.GenerateTree(r, n, p)
+				if err != nil {
+					return nil, err
+				}
+				return t.Graph(), nil
+			})
 	}
-	g, err := mori.Config{N: n / 4, M: 4, P: 0.75}.Generate(rng.New(cfg.seed(510)))
-	if err != nil {
-		return nil, err
-	}
-	if err := addFit("mori merged m=4 p=0.75", 1+1/0.75, g); err != nil {
-		return nil, fmt.Errorf("E6 merged: %w", err)
-	}
-	bag, err := ba.Config{N: n, M: 2}.Generate(rng.New(cfg.seed(511)))
-	if err != nil {
-		return nil, err
-	}
-	if err := addFit("barabasi-albert m=2", 3, bag); err != nil {
-		return nil, fmt.Errorf("E6 ba: %w", err)
-	}
+	addCell("mori merged m=4 p=0.75", 1+1/0.75, cfg.seed(510),
+		func(r *rng.RNG) (*graph.Graph, error) {
+			return mori.Config{N: n / 4, M: 4, P: 0.75}.Generate(r)
+		})
+	addCell("barabasi-albert m=2", 3, cfg.seed(511),
+		func(r *rng.RNG) (*graph.Graph, error) {
+			return ba.Config{N: n, M: 2}.Generate(r)
+		})
 	for i, k := range []float64{2.1, 2.5} {
-		cmg, err := configmodel.Config{N: n, Exponent: k}.Generate(rng.New(cfg.seed(512 + uint64(i))))
-		if err != nil {
-			return nil, err
+		addCell(fmt.Sprintf("config-model k=%.1f", k), k, cfg.seed(512+uint64(i)),
+			func(r *rng.RNG) (*graph.Graph, error) {
+				return configmodel.Config{N: n, Exponent: k}.Generate(r)
+			})
+	}
+	addCell("cooper-frieze α=0.7", 0, cfg.seed(514),
+		func(r *rng.RNG) (*graph.Graph, error) {
+			res, err := cfConfig(n, 0.7).Generate(r)
+			if err != nil {
+				return nil, err
+			}
+			return res.Graph, nil
+		})
+
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title:   "E6  Degree distributions (total degree, MLE tail fit)",
+			Columns: []string{"model", "n", "expected α", "fitted α", "±se", "xmin", "ccdf-slope+1", "max-degree"},
+			Notes: []string{
+				"expected: Móri tree 1+1/p (indegree attachment); BA 3; config model its input k; CF depends on (α,β,γ,δ)",
+				"ccdf-slope+1 is the log-log CCDF regression estimate of α (CCDF decays with α-1)",
+			},
 		}
-		if err := addFit(fmt.Sprintf("config-model k=%.1f", k), k, cmg); err != nil {
-			return nil, fmt.Errorf("E6 config k=%v: %w", k, err)
+		for _, c := range cells {
+			fr, ok := results[c.idx].(fitResult)
+			if !ok {
+				return nil, fmt.Errorf("E6 %s: result type %T", c.name, results[c.idx])
+			}
+			expectedCell := "-"
+			if c.expected > 0 {
+				expectedCell = formatFloat(c.expected)
+			}
+			table.AddRow(c.name, fr.n, expectedCell, fr.alpha, fr.stderr, fr.xmin, fr.slope1, fr.maxDeg)
 		}
-	}
-	res, err := cfConfig(n, 0.7).Generate(rng.New(cfg.seed(514)))
-	if err != nil {
-		return nil, err
-	}
-	if err := addFit("cooper-frieze α=0.7", 0, res.Graph); err != nil {
-		return nil, fmt.Errorf("E6 cf: %w", err)
-	}
-	return []Table{*table}, nil
+		return []Table{*table}, nil
+	}), nil
 }
 
-// RunE7 measures distance growth: mean BFS distance and double-sweep
+// PlanE7 measures distance growth: mean BFS distance and double-sweep
 // diameter against log n — the "logarithmic diameter" the paper
-// contrasts with its polynomial search bound.
-func RunE7(cfg Config) ([]Table, error) {
+// contrasts with its polynomial search bound. One trial per
+// (model, size): generate the graph and sample distances.
+func PlanE7(cfg Config) (*Plan, error) {
 	sizes := cfg.sizes(1024, 5)
 	srcSamples := cfg.scaleInt(12, 4)
-	table := &Table{
-		Title:   "E7  Distance growth: logarithmic diameter vs polynomial search",
-		Columns: []string{"model", "n", "mean-dist", "diam(lb)", "mean/ln(n)", "√n (contrast)"},
-		Notes: []string{
-			"mean/ln(n) stabilizing ⇒ logarithmic distances; the √n column is the search lower-bound scale",
-		},
+	b := newPlanBuilder()
+
+	type distResult struct {
+		meanDist float64
+		diam     int
 	}
 	gens := []struct {
 		name string
@@ -190,22 +244,50 @@ func RunE7(cfg Config) ([]Table, error) {
 			return ba.Config{N: n, M: 2}.Generate(r)
 		}},
 	}
+	type cell struct {
+		name string
+		n    int
+		idx  int
+	}
+	var cells []cell
 	for gi, gspec := range gens {
 		for si, n := range sizes {
-			r := rng.New(cfg.seed(600 + uint64(gi*100+si)))
-			g, err := gspec.gen(n, r)
-			if err != nil {
-				return nil, fmt.Errorf("E7 %s n=%d: %w", gspec.name, n, err)
-			}
-			sources := make([]graph.Vertex, srcSamples)
-			for i := range sources {
-				sources[i] = graph.Vertex(r.IntRange(1, g.NumVertices()))
-			}
-			meanDist := graph.AverageDistanceSampled(g, sources)
-			diam := graph.DoubleSweepLowerBound(g, sources[0])
-			table.AddRow(gspec.name, n, meanDist, diam,
-				meanDist/math.Log(float64(n)), math.Sqrt(float64(n)))
+			idx := b.add(fmt.Sprintf("E7/%s/n=%d", gspec.name, n),
+				cfg.seed(600+uint64(gi*100+si)),
+				func(_ context.Context, r *rng.RNG) (any, error) {
+					g, err := gspec.gen(n, r)
+					if err != nil {
+						return nil, err
+					}
+					sources := make([]graph.Vertex, srcSamples)
+					for i := range sources {
+						sources[i] = graph.Vertex(r.IntRange(1, g.NumVertices()))
+					}
+					return distResult{
+						meanDist: graph.AverageDistanceSampled(g, sources),
+						diam:     graph.DoubleSweepLowerBound(g, sources[0]),
+					}, nil
+				})
+			cells = append(cells, cell{name: gspec.name, n: n, idx: idx})
 		}
 	}
-	return []Table{*table}, nil
+
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title:   "E7  Distance growth: logarithmic diameter vs polynomial search",
+			Columns: []string{"model", "n", "mean-dist", "diam(lb)", "mean/ln(n)", "√n (contrast)"},
+			Notes: []string{
+				"mean/ln(n) stabilizing ⇒ logarithmic distances; the √n column is the search lower-bound scale",
+			},
+		}
+		for _, c := range cells {
+			dr, ok := results[c.idx].(distResult)
+			if !ok {
+				return nil, fmt.Errorf("E7 %s n=%d: result type %T", c.name, c.n, results[c.idx])
+			}
+			table.AddRow(c.name, c.n, dr.meanDist, dr.diam,
+				dr.meanDist/math.Log(float64(c.n)), math.Sqrt(float64(c.n)))
+		}
+		return []Table{*table}, nil
+	}), nil
 }

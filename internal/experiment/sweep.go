@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"context"
+
+	"scalefree/internal/core"
+	"scalefree/internal/rng"
+)
+
+// cellCollector reassembles one scaling cell — a full
+// (sizes × replications) sweep of a single algorithm/model pairing —
+// from the flat trial-result slice of the plan it was added to.
+type cellCollector func(results []any) (core.ScalingResult, error)
+
+// addScalingCell registers the trials of one scaling cell on the
+// builder: one trial per (size, replication) running core.MeasureOne,
+// plus one trial per size evaluating boundFor when it is non-nil. The
+// decomposition and seed scheme are core.ScalingSweep's — the single
+// source of truth shared with core.MeasureScalingContext — so the
+// *search measurements* reproduce the serial harness (-workers 1) bit
+// for bit. Monte-Carlo bounds (an RNG-consuming boundFor, as in E3)
+// are deterministic per (seed, size) but reseeded per size, unlike the
+// pre-engine harness which reused one bound stream across sizes; exact
+// bounds ignore the RNG and are unchanged.
+//
+// The returned collector assembles the cell's core.ScalingResult from
+// the plan's positional results.
+func addScalingCell(b *planBuilder, key string, sizes []int,
+	genFor func(n int) core.GraphGen,
+	boundFor func(n int, r *rng.RNG) (float64, error),
+	spec core.SearchSpec) cellCollector {
+
+	sweep, err := core.NewScalingSweep(sizes, genFor, boundFor, spec)
+	if err != nil {
+		// Plan-construction bugs (too few sizes, invalid spec) surface
+		// at reduce time with the cell's context attached.
+		return func([]any) (core.ScalingResult, error) { return core.ScalingResult{}, err }
+	}
+	st := sweep.Trials()
+	idx := make([]int, len(st))
+	for i, t := range st {
+		idx[i] = b.add(key+"/"+t.Key, t.Seed,
+			func(_ context.Context, r *rng.RNG) (any, error) { return t.Run(r) })
+	}
+	return func(results []any) (core.ScalingResult, error) {
+		sub := make([]any, len(idx))
+		for i, j := range idx {
+			sub[i] = results[j]
+		}
+		return sweep.Collect(sub)
+	}
+}
+
+// exactBound adapts an RNG-free theorem bound to the addScalingCell
+// bound signature.
+func exactBound(f func(n int) (float64, error)) func(n int, r *rng.RNG) (float64, error) {
+	return func(n int, _ *rng.RNG) (float64, error) { return f(n) }
+}

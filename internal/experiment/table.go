@@ -1,8 +1,3 @@
-// Package experiment is the harness that regenerates every quantitative
-// claim of the paper (and of the related work it leans on) as a table:
-// experiments E1–E10 of DESIGN.md, each with its workload generator,
-// parameter sweep, baselines, and a renderer for the rows reported in
-// EXPERIMENTS.md.
 package experiment
 
 import (

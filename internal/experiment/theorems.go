@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,22 +28,21 @@ func isWalk(a search.Algorithm) bool {
 	}
 }
 
-// RunE1 measures Theorem 1 in the weak model: for every weak algorithm
+// PlanE1 measures Theorem 1 in the weak model: for every weak algorithm
 // and several (p, m), the expected number of requests to find vertex n
 // grows at least like √n, and pointwise dominates the Lemma-1 bound
 // |V|·P(E)/2.
-func RunE1(cfg Config) ([]Table, error) {
+func PlanE1(cfg Config) (*Plan, error) {
 	sizes := cfg.sizes(512, 5)
 	reps := cfg.scaleInt(24, 6)
-	table := &Table{
-		Title: "E1  Theorem 1 (weak model) — expected requests to find vertex n in Móri graphs",
-		Columns: []string{"algorithm", "p", "m", "n(max)", "mean@max", "bound@max",
-			"fit-exponent", "±se", "R2", "found-rate"},
-		Notes: []string{
-			"theorem: exponent >= 0.5 and mean >= bound at every n (bound = |V|·P(E)/2, exact)",
-			fmt.Sprintf("sizes %v, %d reps per point; walks censored at %d·n requests", sizes, reps, walkBudgetFactor),
-		},
+	b := newPlanBuilder()
+	type cell struct {
+		p       float64
+		m       int
+		alg     search.Algorithm
+		collect cellCollector
 	}
+	var cells []cell
 	stream := uint64(0)
 	for _, p := range []float64{0.25, 0.5, 0.75, 1.0} {
 		for _, m := range []int{1, 2} {
@@ -56,38 +56,52 @@ func RunE1(cfg Config) ([]Table, error) {
 				if isWalk(alg) {
 					spec.Budget = walkBudgetFactor * sizes[len(sizes)-1]
 				}
-				res, err := core.MeasureScaling(sizes,
+				collect := addScalingCell(b,
+					fmt.Sprintf("E1/p=%v/m=%d/%s", p, m, alg.Name()), sizes,
 					func(n int) core.GraphGen { return core.MoriGen(mori.Config{N: n, M: m, P: p}) },
-					func(n int) (float64, error) { return core.Theorem1Bound(n, p) },
+					exactBound(func(n int) (float64, error) { return core.Theorem1Bound(n, p) }),
 					spec)
-				if err != nil {
-					return nil, fmt.Errorf("E1 p=%v m=%d %s: %w", p, m, alg.Name(), err)
-				}
-				last := res.Points[len(res.Points)-1]
-				table.AddRow(alg.Name(), p, m, last.N,
-					last.Measurement.Requests.Mean, last.Bound,
-					res.Fit.Exponent, res.Fit.ExponentSE, res.Fit.R2,
-					last.Measurement.FoundRate)
+				cells = append(cells, cell{p: p, m: m, alg: alg, collect: collect})
 			}
 		}
 	}
-	return []Table{*table}, nil
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title: "E1  Theorem 1 (weak model) — expected requests to find vertex n in Móri graphs",
+			Columns: []string{"algorithm", "p", "m", "n(max)", "mean@max", "bound@max",
+				"fit-exponent", "±se", "R2", "found-rate"},
+			Notes: []string{
+				"theorem: exponent >= 0.5 and mean >= bound at every n (bound = |V|·P(E)/2, exact)",
+				fmt.Sprintf("sizes %v, %d reps per point; walks censored at %d·n requests", sizes, reps, walkBudgetFactor),
+			},
+		}
+		for _, c := range cells {
+			res, err := c.collect(results)
+			if err != nil {
+				return nil, fmt.Errorf("E1 p=%v m=%d %s: %w", c.p, c.m, c.alg.Name(), err)
+			}
+			last := res.Points[len(res.Points)-1]
+			table.AddRow(c.alg.Name(), c.p, c.m, last.N,
+				last.Measurement.Requests.Mean, last.Bound,
+				res.Fit.Exponent, res.Fit.ExponentSE, res.Fit.R2,
+				last.Measurement.FoundRate)
+		}
+		return []Table{*table}, nil
+	}), nil
 }
 
-// RunE2 measures Theorem 1 in the strong model for p < 1/2: the
+// PlanE2 measures Theorem 1 in the strong model for p < 1/2: the
 // expected number of requests grows at least like n^(1/2-p).
-func RunE2(cfg Config) ([]Table, error) {
+func PlanE2(cfg Config) (*Plan, error) {
 	sizes := cfg.sizes(512, 5)
 	reps := cfg.scaleInt(24, 6)
-	table := &Table{
-		Title: "E2  Theorem 1 (strong model) — expected requests, Móri graphs with p < 1/2",
-		Columns: []string{"algorithm", "p", "n(max)", "mean@max",
-			"fit-exponent", "±se", "bound-exponent", "found-rate"},
-		Notes: []string{
-			"theorem: fitted exponent >= 1/2 - p for any strong-model algorithm",
-			fmt.Sprintf("sizes %v, %d reps per point", sizes, reps),
-		},
+	b := newPlanBuilder()
+	type cell struct {
+		p       float64
+		alg     search.Algorithm
+		collect cellCollector
 	}
+	var cells []cell
 	stream := uint64(100)
 	for _, p := range []float64{0.1, 0.25, 0.4} {
 		for _, alg := range search.StrongAlgorithms() {
@@ -100,21 +114,37 @@ func RunE2(cfg Config) ([]Table, error) {
 			if isWalk(alg) {
 				spec.Budget = walkBudgetFactor * sizes[len(sizes)-1]
 			}
-			res, err := core.MeasureScaling(sizes,
+			collect := addScalingCell(b,
+				fmt.Sprintf("E2/p=%v/%s", p, alg.Name()), sizes,
 				func(n int) core.GraphGen { return core.MoriGen(mori.Config{N: n, M: 1, P: p}) },
 				nil, spec)
-			if err != nil {
-				return nil, fmt.Errorf("E2 p=%v %s: %w", p, alg.Name(), err)
-			}
-			last := res.Points[len(res.Points)-1]
-			table.AddRow(alg.Name(), p, last.N,
-				last.Measurement.Requests.Mean,
-				res.Fit.Exponent, res.Fit.ExponentSE,
-				core.StrongModelExponent(p),
-				last.Measurement.FoundRate)
+			cells = append(cells, cell{p: p, alg: alg, collect: collect})
 		}
 	}
-	return []Table{*table}, nil
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title: "E2  Theorem 1 (strong model) — expected requests, Móri graphs with p < 1/2",
+			Columns: []string{"algorithm", "p", "n(max)", "mean@max",
+				"fit-exponent", "±se", "bound-exponent", "found-rate"},
+			Notes: []string{
+				"theorem: fitted exponent >= 1/2 - p for any strong-model algorithm",
+				fmt.Sprintf("sizes %v, %d reps per point", sizes, reps),
+			},
+		}
+		for _, c := range cells {
+			res, err := c.collect(results)
+			if err != nil {
+				return nil, fmt.Errorf("E2 p=%v %s: %w", c.p, c.alg.Name(), err)
+			}
+			last := res.Points[len(res.Points)-1]
+			table.AddRow(c.alg.Name(), c.p, last.N,
+				last.Measurement.Requests.Mean,
+				res.Fit.Exponent, res.Fit.ExponentSE,
+				core.StrongModelExponent(c.p),
+				last.Measurement.FoundRate)
+		}
+		return []Table{*table}, nil
+	}), nil
 }
 
 // cfConfig is the Cooper–Frieze parameterization used by E3 and E6/E7.
@@ -129,22 +159,21 @@ func cfConfig(n int, alpha float64) cooperfrieze.Config {
 	}
 }
 
-// RunE3 measures Theorem 2: Ω(√n) weak-model search cost in
+// PlanE3 measures Theorem 2: Ω(√n) weak-model search cost in
 // Cooper–Frieze graphs, with the Lemma-1 bound estimated by Monte
-// Carlo.
-func RunE3(cfg Config) ([]Table, error) {
+// Carlo (each per-size bound is its own trial, driven by the trial's
+// private RNG).
+func PlanE3(cfg Config) (*Plan, error) {
 	sizes := cfg.sizes(512, 4)
 	reps := cfg.scaleInt(24, 6)
 	mcReps := cfg.scaleInt(400, 100)
-	table := &Table{
-		Title: "E3  Theorem 2 — expected requests to find vertex n in Cooper–Frieze graphs (weak model)",
-		Columns: []string{"algorithm", "alpha", "n(max)", "mean@max", "bound@max",
-			"fit-exponent", "±se", "found-rate"},
-		Notes: []string{
-			"theorem: exponent >= 0.5; bound = |V|·P̂(E)/2 with P̂ estimated by Monte Carlo",
-			fmt.Sprintf("sizes %v, %d reps per point, %d MC generations per bound", sizes, reps, mcReps),
-		},
+	b := newPlanBuilder()
+	type cell struct {
+		alpha   float64
+		alg     search.Algorithm
+		collect cellCollector
 	}
+	var cells []cell
 	stream := uint64(200)
 	for _, alpha := range []float64{0.5, 0.8} {
 		for _, alg := range search.WeakAlgorithms() {
@@ -157,60 +186,96 @@ func RunE3(cfg Config) ([]Table, error) {
 			if isWalk(alg) {
 				spec.Budget = walkBudgetFactor * sizes[len(sizes)-1]
 			}
-			boundSeed := cfg.seed(stream + 5000)
-			res, err := core.MeasureScaling(sizes,
+			collect := addScalingCell(b,
+				fmt.Sprintf("E3/alpha=%v/%s", alpha, alg.Name()), sizes,
 				func(n int) core.GraphGen { return core.CooperFriezeGen(cfConfig(n, alpha)) },
-				func(n int) (float64, error) {
-					return core.Theorem2Bound(cfConfig(n, alpha), mcReps, boundSeed)
+				func(n int, r *rng.RNG) (float64, error) {
+					bound, _, _, err := equivalence.Lemma1BoundCF(r, cfConfig(n, alpha), mcReps)
+					return bound, err
 				},
 				spec)
+			cells = append(cells, cell{alpha: alpha, alg: alg, collect: collect})
+		}
+	}
+	return b.build(func(results []any) ([]Table, error) {
+		table := &Table{
+			Title: "E3  Theorem 2 — expected requests to find vertex n in Cooper–Frieze graphs (weak model)",
+			Columns: []string{"algorithm", "alpha", "n(max)", "mean@max", "bound@max",
+				"fit-exponent", "±se", "found-rate"},
+			Notes: []string{
+				"theorem: exponent >= 0.5; bound = |V|·P̂(E)/2 with P̂ estimated by Monte Carlo",
+				fmt.Sprintf("sizes %v, %d reps per point, %d MC generations per bound", sizes, reps, mcReps),
+			},
+		}
+		for _, c := range cells {
+			res, err := c.collect(results)
 			if err != nil {
-				return nil, fmt.Errorf("E3 alpha=%v %s: %w", alpha, alg.Name(), err)
+				return nil, fmt.Errorf("E3 alpha=%v %s: %w", c.alpha, c.alg.Name(), err)
 			}
 			last := res.Points[len(res.Points)-1]
-			table.AddRow(alg.Name(), alpha, last.N,
+			table.AddRow(c.alg.Name(), c.alpha, last.N,
 				last.Measurement.Requests.Mean, last.Bound,
 				res.Fit.Exponent, res.Fit.ExponentSE,
 				last.Measurement.FoundRate)
 		}
-	}
-	return []Table{*table}, nil
+		return []Table{*table}, nil
+	}), nil
 }
 
-// RunE4 reports the equivalence-event probabilities of Lemmas 2-3:
+// PlanE4 reports the equivalence-event probabilities of Lemmas 2-3:
 // exact product formula vs Monte Carlo vs the e^{-(1-p)} floor, plus
-// the exhaustive Lemma-2 verification on small trees.
-func RunE4(cfg Config) ([]Table, error) {
+// the exhaustive Lemma-2 verification on small trees. Each (p, n)
+// Monte-Carlo estimate and each Lemma-2 tree check is one trial.
+func PlanE4(cfg Config) (*Plan, error) {
 	mcReps := cfg.scaleInt(20000, 2000)
-	probs := &Table{
-		Title:   "E4a  P(E_{a,b}) for the canonical window b = a+⌊√(a-1)⌋ (Lemma 3)",
-		Columns: []string{"p", "a", "b", "exact", "monte-carlo", "±se", "floor e^{-(1-p)}", "exact>=floor"},
-		Notes:   []string{fmt.Sprintf("%d Monte-Carlo generations per estimate", mcReps)},
+	b := newPlanBuilder()
+	base := cfg.seed(300)
+
+	type probCell struct {
+		p   float64
+		n   int
+		idx int
 	}
-	r := rng.New(cfg.seed(300))
+	type probResult struct {
+		a, b                  int
+		exact, est, se, floor float64
+	}
+	var probCells []probCell
+	stream := uint64(0)
 	for _, p := range []float64{0.25, 0.5, 0.75, 1.0} {
 		for _, n := range []int{1 << 8, 1 << 10, 1 << 12} {
-			a, b, err := equivalence.Window(n)
-			if err != nil {
-				return nil, err
-			}
-			exact, err := equivalence.ExactEventProb(p, a, b)
-			if err != nil {
-				return nil, err
-			}
-			est, se, err := equivalence.MonteCarloEventProb(r, p, a, b, mcReps)
-			if err != nil {
-				return nil, err
-			}
-			floor := equivalence.Lemma3Bound(p)
-			probs.AddRow(p, a, b, exact, est, se, floor, fmt.Sprintf("%v", exact >= floor-1e-12))
+			stream++
+			idx := b.add(fmt.Sprintf("E4a/p=%v/n=%d", p, n), rng.DeriveSeed(base, stream),
+				func(_ context.Context, r *rng.RNG) (any, error) {
+					a, bw, err := equivalence.Window(n)
+					if err != nil {
+						return nil, err
+					}
+					exact, err := equivalence.ExactEventProb(p, a, bw)
+					if err != nil {
+						return nil, err
+					}
+					est, se, err := equivalence.MonteCarloEventProb(r, p, a, bw, mcReps)
+					if err != nil {
+						return nil, err
+					}
+					return probResult{a: a, b: bw, exact: exact, est: est, se: se,
+						floor: equivalence.Lemma3Bound(p)}, nil
+				})
+			probCells = append(probCells, probCell{p: p, n: n, idx: idx})
 		}
 	}
 
-	lemma2 := &Table{
-		Title:   "E4b  Exhaustive Lemma-2 verification: P(T) = P(σT) conditional on E_{a,b}",
-		Columns: []string{"tree-size", "window", "p", "pairs-checked", "result"},
+	type l2Cell struct {
+		size, a, b int
+		p          float64
+		idx        int
 	}
+	type l2Result struct {
+		checked int
+		result  string
+	}
+	var l2Cells []l2Cell
 	for _, tc := range []struct {
 		size, a, b int
 		p          float64
@@ -220,12 +285,44 @@ func RunE4(cfg Config) ([]Table, error) {
 		{7, 3, 6, 0.25},
 		{8, 4, 7, 0.75},
 	} {
-		checked, err := equivalence.VerifyLemma2(tc.size, tc.a, tc.b, tc.p, 1e-12)
-		result := "ok"
-		if err != nil {
-			result = err.Error()
-		}
-		lemma2.AddRow(tc.size, fmt.Sprintf("(%d,%d]", tc.a, tc.b), tc.p, checked, result)
+		stream++
+		idx := b.add(fmt.Sprintf("E4b/size=%d/p=%v", tc.size, tc.p), rng.DeriveSeed(base, stream),
+			func(_ context.Context, _ *rng.RNG) (any, error) {
+				checked, err := equivalence.VerifyLemma2(tc.size, tc.a, tc.b, tc.p, 1e-12)
+				result := "ok"
+				if err != nil {
+					result = err.Error()
+				}
+				return l2Result{checked: checked, result: result}, nil
+			})
+		l2Cells = append(l2Cells, l2Cell{size: tc.size, a: tc.a, b: tc.b, p: tc.p, idx: idx})
 	}
-	return []Table{*probs, *lemma2}, nil
+
+	return b.build(func(results []any) ([]Table, error) {
+		probs := &Table{
+			Title:   "E4a  P(E_{a,b}) for the canonical window b = a+⌊√(a-1)⌋ (Lemma 3)",
+			Columns: []string{"p", "a", "b", "exact", "monte-carlo", "±se", "floor e^{-(1-p)}", "exact>=floor"},
+			Notes:   []string{fmt.Sprintf("%d Monte-Carlo generations per estimate", mcReps)},
+		}
+		for _, c := range probCells {
+			pr, ok := results[c.idx].(probResult)
+			if !ok {
+				return nil, fmt.Errorf("E4a p=%v n=%d: result type %T", c.p, c.n, results[c.idx])
+			}
+			probs.AddRow(c.p, pr.a, pr.b, pr.exact, pr.est, pr.se, pr.floor,
+				fmt.Sprintf("%v", pr.exact >= pr.floor-1e-12))
+		}
+		lemma2 := &Table{
+			Title:   "E4b  Exhaustive Lemma-2 verification: P(T) = P(σT) conditional on E_{a,b}",
+			Columns: []string{"tree-size", "window", "p", "pairs-checked", "result"},
+		}
+		for _, c := range l2Cells {
+			lr, ok := results[c.idx].(l2Result)
+			if !ok {
+				return nil, fmt.Errorf("E4b size=%d: result type %T", c.size, results[c.idx])
+			}
+			lemma2.AddRow(c.size, fmt.Sprintf("(%d,%d]", c.a, c.b), c.p, lr.checked, lr.result)
+		}
+		return []Table{*probs, *lemma2}, nil
+	}), nil
 }
