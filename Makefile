@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench ci
+.PHONY: all build test test-short vet bench bench-json bench-smoke ci
 
 all: ci
 
@@ -21,5 +21,19 @@ vet:
 # for stable parallel-speedup numbers on a multi-core machine.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-json records the speedup trajectory: the parallel-engine bench
+# plus the generator ablation (endpoint array vs Fenwick reference), in
+# `go test -json` event format, one JSON object per line. Commit the
+# refreshed BENCH_gen.json whenever a PR moves these numbers.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkExperimentWorkers|BenchmarkGenerateMori|BenchmarkGenerateCooperFrieze' \
+		-benchtime 3x -json . > BENCH_gen.json
+
+# bench-smoke is the CI-sized benchmark pass: every benchmark once at
+# -short sizes, output discarded — it only has to not crash.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
 ci: build vet test

@@ -10,8 +10,9 @@ import (
 	"fmt"
 	"testing"
 
+	"scalefree/internal/cooperfrieze"
+	"scalefree/internal/engine"
 	"scalefree/internal/experiment"
-	"scalefree/internal/experiment/engine"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
 	"scalefree/internal/weights"
@@ -107,10 +108,93 @@ func BenchmarkEngineOverhead(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationFenwickVsEndpointArray quantifies the design choice
-// called out in DESIGN.md §5.2: exact mixed-weight sampling via a
-// Fenwick tree versus the O(1) endpoint-array trick that only supports
-// pure hit-count weights. Run with -bench Ablation to compare.
+// BenchmarkGenerateMori is the sampler ablation at generator level
+// (DESIGN.md §5.2): the O(n) endpoint-array production path (with and
+// without scratch reuse) against the O(n log n) Fenwick reference. At
+// n = 2^20 the production path must win by >= 2×; -short drops to a
+// smoke size for CI.
+func BenchmarkGenerateMori(b *testing.B) {
+	n := 1 << 20
+	if testing.Short() {
+		n = 1 << 14
+	}
+	b.Run(fmt.Sprintf("endpoint/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mori.GenerateTree(r, n, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("endpoint-scratch/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		var s mori.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mori.GenerateTreeScratch(r, n, 0.5, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("fenwick/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mori.GenerateTreeFenwick(r, n, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGenerateCooperFrieze is the Cooper–Frieze half of the
+// generator ablation; see BenchmarkGenerateMori.
+func BenchmarkGenerateCooperFrieze(b *testing.B) {
+	n := 1 << 20
+	if testing.Short() {
+		n = 1 << 14
+	}
+	cfg := cooperfrieze.Config{N: n, Alpha: 0.75, Beta: 0.5, Gamma: 0.5,
+		Delta: 0.5, AllowLoops: true}
+	b.Run(fmt.Sprintf("endpoint/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Generate(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("endpoint-scratch/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		var s cooperfrieze.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.GenerateScratch(r, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("fenwick/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.GenerateFenwick(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFenwickVsEndpointArray quantifies the sampler-level
+// half of the design choice in DESIGN.md §5.2 — the O(log n) Fenwick
+// *reference* sampler versus the O(1) endpoint-array *production*
+// sampler that now drives every generator hot loop (the array supports
+// only pure hit-count weights, which is exactly what the generators
+// need after their mixture coin flip). Run with -bench Ablation to
+// compare; BenchmarkGenerateMori/BenchmarkGenerateCooperFrieze show
+// the end-to-end effect.
 func BenchmarkAblationFenwickVsEndpointArray(b *testing.B) {
 	const n = 1 << 15
 	b.Run("fenwick", func(b *testing.B) {

@@ -25,8 +25,8 @@ import (
 	"syscall"
 	"time"
 
+	"scalefree/internal/engine"
 	"scalefree/internal/experiment"
-	"scalefree/internal/experiment/engine"
 )
 
 func main() {

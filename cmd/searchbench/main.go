@@ -26,8 +26,8 @@ import (
 
 	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/core"
+	"scalefree/internal/engine"
 	"scalefree/internal/experiment"
-	"scalefree/internal/experiment/engine"
 	"scalefree/internal/mori"
 	"scalefree/internal/search"
 )

@@ -33,11 +33,11 @@ func main() {
 		reps = 30
 	)
 
-	gen := func(r *rng.RNG) (*graph.Graph, error) {
+	gen := func(r *rng.RNG, _ *core.Scratch) (*graph.Graph, error) {
 		g, _, err := configmodel.Config{N: n, Exponent: k, MinDeg: 2}.GenerateGiant(r)
 		return g, err
 	}
-	probe, err := gen(rng.New(seed))
+	probe, err := gen(rng.New(seed), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

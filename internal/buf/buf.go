@@ -1,0 +1,25 @@
+// Package buf holds the slice-reuse helpers shared by every scratch
+// path in the repository: resizing a slice while reusing its backing
+// array whenever the capacity suffices, so steady-state reuse of
+// same-size buffers allocates nothing.
+package buf
+
+// Grow returns s resized to length n, reusing the backing array when
+// the capacity suffices. Contents are unspecified — callers must
+// overwrite every entry.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// GrowClear is Grow with every entry zeroed.
+func GrowClear[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
+}

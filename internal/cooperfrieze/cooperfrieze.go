@@ -22,12 +22,24 @@
 // emits at least one edge on arrival, the graph is connected by
 // construction (the seed is vertex 1 with a self-loop, which gives the
 // preferential choice its initial mass, as in the original model).
+//
+// Every preferential/uniform mixture in the process flips its coin
+// before drawing a vertex, so the preferential draw is pure hit-count
+// sampling and the generator runs on the O(1) endpoint array
+// (weights.EndpointArray): an N-vertex graph costs O(N) expected time
+// and O(1) allocations (amortized zero with a Scratch).
+// GenerateFenwick keeps the historical O(N log N) Fenwick-tree path as
+// the reference implementation (chi-square equivalence in the tests,
+// BenchmarkGenerateCooperFrieze for the speedup); the two consume RNG
+// streams differently, so equal seeds yield different (identically
+// distributed) graphs.
 package cooperfrieze
 
 import (
 	"fmt"
 	"math"
 
+	"scalefree/internal/buf"
 	"scalefree/internal/graph"
 	"scalefree/internal/rng"
 	"scalefree/internal/weights"
@@ -91,6 +103,31 @@ type Result struct {
 // frozen graph. Vertex 1 is the seed (with a self-loop); vertices are
 // numbered by arrival.
 func (c Config) Generate(r *rng.RNG) (*Result, error) {
+	return c.GenerateScratch(r, new(Scratch))
+}
+
+// Scratch holds the reusable buffers of one generation worker: the
+// edge-list builder, its CSR snapshot, the endpoint array, and the
+// Result with its arrival-degree record. The zero value is ready to
+// use; after a warm-up generation, repeated same-size GenerateScratch
+// calls stay allocation-free apart from the small out-degree
+// distribution tables (O(1) per call).
+type Scratch struct {
+	builder graph.Builder
+	g       graph.Graph
+	ends    weights.EndpointArray
+	res     Result
+}
+
+// GenerateScratch is Generate drawing the identical distribution (and,
+// for equal seeds, the identical graph) through s's reusable buffers.
+// The returned Result and its graph alias s and are valid until the
+// next call with the same scratch; callers that outlive the scratch
+// must copy (or use Generate, which allocates a private scratch).
+func (c Config) GenerateScratch(r *rng.RNG, s *Scratch) (*Result, error) {
+	if s == nil {
+		return c.Generate(r)
+	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,17 +140,25 @@ func (c Config) Generate(r *rng.RNG) (*Result, error) {
 		return nil, err
 	}
 
-	// Upper-bound the edge count for allocation: expected steps are
-	// N/alpha; cap pessimistically.
-	b := graph.NewBuilder(c.N, c.N*4)
-	indeg := weights.NewFenwick(c.N)
+	// Size the edge arrays for the expected step count N/alpha (plus
+	// the mean out-degrees' pull above one edge per step, covered by
+	// the slack factor); append growth handles the tail of the
+	// distribution, so the hint only tunes first-touch cost.
+	edgeHint := int(float64(c.N)/c.Alpha) + c.N/2
+	b := &s.builder
+	b.Reset(c.N, edgeHint)
+	s.ends.Reset(edgeHint)
+	ends := &s.ends
 
 	// Seed: vertex 1 with a self-loop so preferential mass is positive.
 	b.AddVertex()
 	b.AddEdge(1, 1)
-	indeg.Add(1, 1)
+	ends.Record(1)
 
-	res := &Result{ArrivalOutDeg: make([]int, c.N+1)}
+	res := &s.res
+	res.Graph = nil
+	res.Steps, res.OldSteps = 0, 0
+	res.ArrivalOutDeg = buf.GrowClear(res.ArrivalOutDeg, c.N+1)
 	res.ArrivalOutDeg[1] = 1 // the seed loop
 	for b.NumVertices() < c.N {
 		res.Steps++
@@ -127,41 +172,40 @@ func (c Config) Generate(r *rng.RNG) (*Result, error) {
 			for i := 0; i < edges; i++ {
 				// New-vertex edges go to older vertices only, as in the
 				// Móri model: the eligible range excludes v itself.
-				w := c.pickTerminal(r, indeg, c.Beta, v, int(v)-1)
+				w := c.pickTerminal(r, ends, c.Beta, v, int(v)-1)
 				b.AddEdge(v, w)
-				indeg.Add(int(w), 1)
+				ends.Record(int32(w))
 			}
 			continue
 		}
 		res.OldSteps++
-		src := c.pickOldSource(r, b, indeg)
+		src := c.pickOldSource(r, b, ends)
 		edges := pDist.Sample(r) + 1
 		for i := 0; i < edges; i++ {
-			w := c.pickTerminal(r, indeg, c.Gamma, src, b.NumVertices())
+			w := c.pickTerminal(r, ends, c.Gamma, src, b.NumVertices())
 			b.AddEdge(src, w)
-			indeg.Add(int(w), 1)
+			ends.Record(int32(w))
 		}
 	}
-	res.Graph = b.Freeze()
+	res.Graph = b.FreezeInto(&s.g)
 	return res, nil
 }
 
 // pickTerminal selects an edge terminal among vertices 1..limit:
 // preferential by indegree with probability prefProb, else uniform.
 // Draws equal to src are retried when loops are disallowed. The
-// preferential draw is always within range because only vertices that
-// already exist carry indegree mass, and indegree mass beyond limit
-// only exists when limit == NumVertices().
-func (c Config) pickTerminal(r *rng.RNG, indeg *weights.Fenwick, prefProb float64, src graph.Vertex, limit int) graph.Vertex {
+// preferential draw is a uniform pick from the endpoint array (one
+// entry per indegree hit); the seed loop guarantees positive mass, and
+// the mass always lies within 1..limit (a New vertex never receives
+// indegree during its own arrival), so the out-of-range retry is a
+// belt-and-braces guard.
+func (c Config) pickTerminal(r *rng.RNG, ends *weights.EndpointArray, prefProb float64, src graph.Vertex, limit int) graph.Vertex {
 	const maxRetries = 32
 	for attempt := 0; ; attempt++ {
 		var w graph.Vertex
-		if r.Bernoulli(prefProb) && indeg.PrefixSum(limit) > 0 {
-			w = graph.Vertex(indeg.Sample(r))
+		if r.Bernoulli(prefProb) {
+			w = graph.Vertex(ends.Sample(r))
 			if int(w) > limit {
-				// Preferential mass on vertices past the limit (only
-				// possible transiently while a New vertex self-wires);
-				// treat as a retry.
 				continue
 			}
 		} else {
@@ -184,7 +228,98 @@ func (c Config) pickTerminal(r *rng.RNG, indeg *weights.Fenwick, prefProb float6
 
 // pickOldSource selects the emitting vertex of an Old step: uniform
 // with probability Delta, preferential by indegree otherwise.
-func (c Config) pickOldSource(r *rng.RNG, b *graph.Builder, indeg *weights.Fenwick) graph.Vertex {
+func (c Config) pickOldSource(r *rng.RNG, b *graph.Builder, ends *weights.EndpointArray) graph.Vertex {
+	if r.Bernoulli(c.Delta) || ends.Total() == 0 {
+		return graph.Vertex(r.IntRange(1, b.NumVertices()))
+	}
+	return graph.Vertex(ends.Sample(r))
+}
+
+// GenerateFenwick is the historical O(N log N) generator drawing every
+// preferential vertex from a Fenwick tree over indegrees. It samples
+// exactly the same distribution as Generate and is kept as the
+// reference implementation for the sampler ablation and the chi-square
+// equivalence test; equal seeds yield different (identically
+// distributed) graphs because the samplers consume RNG streams
+// differently.
+func (c Config) GenerateFenwick(r *rng.RNG) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	qDist, err := outDegreeDist(c.QWeights, "QWeights")
+	if err != nil {
+		return nil, err
+	}
+	pDist, err := outDegreeDist(c.PWeights, "PWeights")
+	if err != nil {
+		return nil, err
+	}
+
+	b := graph.NewBuilder(c.N, c.N*4)
+	indeg := weights.NewFenwick(c.N)
+
+	b.AddVertex()
+	b.AddEdge(1, 1)
+	indeg.Add(1, 1)
+
+	res := &Result{ArrivalOutDeg: make([]int, c.N+1)}
+	res.ArrivalOutDeg[1] = 1
+	for b.NumVertices() < c.N {
+		res.Steps++
+		mustNew := !c.AllowLoops && b.NumVertices() == 1
+		if mustNew || r.Bernoulli(c.Alpha) {
+			v := b.AddVertex()
+			edges := qDist.Sample(r) + 1
+			res.ArrivalOutDeg[v] = edges
+			for i := 0; i < edges; i++ {
+				w := c.pickTerminalFenwick(r, indeg, c.Beta, v, int(v)-1)
+				b.AddEdge(v, w)
+				indeg.Add(int(w), 1)
+			}
+			continue
+		}
+		res.OldSteps++
+		src := c.pickOldSourceFenwick(r, b, indeg)
+		edges := pDist.Sample(r) + 1
+		for i := 0; i < edges; i++ {
+			w := c.pickTerminalFenwick(r, indeg, c.Gamma, src, b.NumVertices())
+			b.AddEdge(src, w)
+			indeg.Add(int(w), 1)
+		}
+	}
+	res.Graph = b.Freeze()
+	return res, nil
+}
+
+// pickTerminalFenwick is pickTerminal on the Fenwick reference sampler.
+func (c Config) pickTerminalFenwick(r *rng.RNG, indeg *weights.Fenwick, prefProb float64, src graph.Vertex, limit int) graph.Vertex {
+	const maxRetries = 32
+	for attempt := 0; ; attempt++ {
+		var w graph.Vertex
+		if r.Bernoulli(prefProb) && indeg.PrefixSum(limit) > 0 {
+			w = graph.Vertex(indeg.Sample(r))
+			if int(w) > limit {
+				continue
+			}
+		} else {
+			w = graph.Vertex(r.IntRange(1, limit))
+		}
+		if c.AllowLoops || w != src || limit == 1 {
+			return w
+		}
+		if attempt >= maxRetries {
+			w = graph.Vertex(r.IntRange(1, limit-1))
+			if w >= src {
+				w++
+			}
+			return w
+		}
+	}
+}
+
+// pickOldSourceFenwick is pickOldSource on the Fenwick reference
+// sampler.
+func (c Config) pickOldSourceFenwick(r *rng.RNG, b *graph.Builder, indeg *weights.Fenwick) graph.Vertex {
 	if r.Bernoulli(c.Delta) || indeg.Total() == 0 {
 		return graph.Vertex(r.IntRange(1, b.NumVertices()))
 	}

@@ -1,0 +1,113 @@
+package cooperfrieze
+
+import (
+	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/rng"
+	"scalefree/internal/stats"
+)
+
+func resultsEqual(a, b *Result) bool {
+	if a.Steps != b.Steps || a.OldSteps != b.OldSteps {
+		return false
+	}
+	if a.Graph.NumVertices() != b.Graph.NumVertices() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		return false
+	}
+	for e := 0; e < a.Graph.NumEdges(); e++ {
+		af, at := a.Graph.Endpoints(graph.EdgeID(e))
+		bf, bt := b.Graph.Endpoints(graph.EdgeID(e))
+		if af != bf || at != bt {
+			return false
+		}
+	}
+	for v := range a.ArrivalOutDeg {
+		if a.ArrivalOutDeg[v] != b.ArrivalOutDeg[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenerateScratchMatchesGenerate pins Generate and GenerateScratch
+// to the same RNG stream: equal seeds must yield identical results
+// whether or not buffers are reused.
+func TestGenerateScratchMatchesGenerate(t *testing.T) {
+	cfg := defaultConfig(250)
+	var s Scratch
+	for seed := uint64(1); seed <= 5; seed++ {
+		want, err := cfg.Generate(rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cfg.GenerateScratch(rng.New(seed), &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(want, got) {
+			t.Fatalf("seed %d: scratch generation diverges from Generate", seed)
+		}
+	}
+}
+
+// TestGenerateScratchAllocsBounded pins the steady state of the
+// scratch path: after warm-up, a repeated same-size generation only
+// allocates the two small out-degree distribution tables — O(1) per
+// graph, independent of N.
+func TestGenerateScratchAllocsBounded(t *testing.T) {
+	cfg := defaultConfig(500)
+	var s Scratch
+	r := rng.New(3)
+	gen := func() {
+		if _, err := cfg.GenerateScratch(r, &s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen() // warm up the buffers
+	allocs := testing.AllocsPerRun(10, gen)
+	if allocs > 10 {
+		t.Errorf("steady-state GenerateScratch allocates %v times per graph, want O(1) <= 10", allocs)
+	}
+}
+
+// TestEndpointMatchesFenwickDistribution is the sampler-swap safety
+// net for the Cooper–Frieze process: the O(1) endpoint-array generator
+// and the O(N log N) Fenwick reference must draw total-degree
+// distributions that a two-sample chi-square test cannot tell apart.
+func TestEndpointMatchesFenwickDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distribution comparison is not short")
+	}
+	const (
+		n    = 300
+		reps = 200
+		bins = 10 // degrees 0..8 and >= 9
+	)
+	cfg := defaultConfig(n)
+	cfg.Alpha = 0.7
+	histEndpoint := make([]int, bins)
+	histFenwick := make([]int, bins)
+	for rep := 0; rep < reps; rep++ {
+		re, err := cfg.Generate(rng.New(rng.DeriveSeed(21, uint64(rep))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := cfg.GenerateFenwick(rng.New(rng.DeriveSeed(22, uint64(rep))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := graph.Vertex(1); int(v) <= n; v++ {
+			histEndpoint[min(re.Graph.Degree(v), bins-1)]++
+			histFenwick[min(rf.Graph.Degree(v), bins-1)]++
+		}
+	}
+	res, err := stats.ChiSquareTwoSample(histEndpoint, histFenwick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-3 {
+		t.Errorf("endpoint vs Fenwick degree distributions differ: chi2=%.2f df=%d p-value=%g\nendpoint: %v\nfenwick:  %v",
+			res.Statistic, res.DF, res.PValue, histEndpoint, histFenwick)
+	}
+}

@@ -18,9 +18,10 @@ import (
 	"context"
 	"fmt"
 
+	"scalefree/internal/buf"
 	"scalefree/internal/cooperfrieze"
+	"scalefree/internal/engine"
 	"scalefree/internal/equivalence"
-	"scalefree/internal/experiment/engine"
 	"scalefree/internal/graph"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
@@ -28,20 +29,67 @@ import (
 	"scalefree/internal/stats"
 )
 
-// GraphGen produces a fresh random graph for one replication.
-type GraphGen func(r *rng.RNG) (*graph.Graph, error)
+// Scratch bundles the reusable buffers of one measurement worker:
+// model-generation scratches, the search oracle's scratch, the
+// per-replication RNGs, and BFS buffers for distance measurements. The
+// zero value is ready to use. One scratch belongs to one worker
+// goroutine; the engine's RunScratch hands each worker its own.
+//
+// Scratch is memory reuse only — every measurement is still a pure
+// function of (spec, rep), so scratch-backed and scratch-free paths
+// produce bit-identical outcomes.
+type Scratch struct {
+	Mori   mori.Scratch
+	CF     cooperfrieze.Scratch
+	Search search.Scratch
+
+	// Dist and Queue are BFS buffers for distance-based workloads
+	// (graph.BFSInto conventions: Dist needs length n+1).
+	Dist  []int32
+	Queue []graph.Vertex
+
+	genRNG, searchRNG rng.RNG
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use and
+// are reused afterwards. It is the engine-facing scratch factory.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// BFSBuffers returns the scratch's BFS buffers sized for an n-vertex
+// graph (dist length n+1, queue capacity n), growing them on demand.
+// BFSInto overwrites dist fully, so plain Grow suffices.
+func (s *Scratch) BFSBuffers(n int) ([]int32, []graph.Vertex) {
+	s.Dist = buf.Grow(s.Dist, n+1)
+	s.Queue = buf.Grow(s.Queue, n)[:0]
+	return s.Dist, s.Queue
+}
+
+// GraphGen produces a fresh random graph for one replication. The
+// scratch argument may be nil (generate with fresh allocations); when
+// non-nil, the generator may reuse its buffers, in which case the
+// returned graph is only valid until the scratch's next use.
+type GraphGen func(r *rng.RNG, s *Scratch) (*graph.Graph, error)
 
 // MoriGen adapts a Móri configuration to a GraphGen.
 func MoriGen(cfg mori.Config) GraphGen {
-	return func(r *rng.RNG) (*graph.Graph, error) {
+	return func(r *rng.RNG, s *Scratch) (*graph.Graph, error) {
+		if s != nil {
+			return cfg.GenerateScratch(r, &s.Mori)
+		}
 		return cfg.Generate(r)
 	}
 }
 
 // CooperFriezeGen adapts a Cooper–Frieze configuration to a GraphGen.
 func CooperFriezeGen(cfg cooperfrieze.Config) GraphGen {
-	return func(r *rng.RNG) (*graph.Graph, error) {
-		res, err := cfg.Generate(r)
+	return func(r *rng.RNG, s *Scratch) (*graph.Graph, error) {
+		var res *cooperfrieze.Result
+		var err error
+		if s != nil {
+			res, err = cfg.GenerateScratch(r, &s.CF)
+		} else {
+			res, err = cfg.Generate(r)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -110,12 +158,28 @@ type SearchOutcome struct {
 // replications can execute in any order, on any goroutine, and still
 // reproduce the serial measurement bit for bit.
 func MeasureOne(gen GraphGen, spec SearchSpec, rep int) (SearchOutcome, error) {
+	return MeasureOneScratch(gen, spec, rep, nil)
+}
+
+// MeasureOneScratch is MeasureOne through a worker's reusable scratch:
+// the graph, the oracle tables, and the per-replication RNGs all come
+// from s, so repeated same-size replications stay allocation-light. A
+// nil scratch falls back to fresh allocation; the outcome is
+// bit-identical either way.
+func MeasureOneScratch(gen GraphGen, spec SearchSpec, rep int, s *Scratch) (SearchOutcome, error) {
 	if spec.Algorithm == nil {
 		return SearchOutcome{}, fmt.Errorf("core: SearchSpec.Algorithm is nil")
 	}
-	gr := rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep)))
-	sr := rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep+1)))
-	g, err := gen(gr)
+	var gr, sr *rng.RNG
+	if s != nil {
+		gr, sr = &s.genRNG, &s.searchRNG
+		gr.Reseed(rng.DeriveSeed(spec.Seed, uint64(3*rep)))
+		sr.Reseed(rng.DeriveSeed(spec.Seed, uint64(3*rep+1)))
+	} else {
+		gr = rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep)))
+		sr = rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep+1)))
+	}
+	g, err := gen(gr, s)
 	if err != nil {
 		return SearchOutcome{}, fmt.Errorf("core: generating graph for rep %d: %w", rep, err)
 	}
@@ -141,8 +205,12 @@ func MeasureOne(gen GraphGen, spec SearchSpec, rep int) (SearchOutcome, error) {
 	}
 	// The shuffled oracle censors slot order so identities leak only
 	// through the answers the paper's model defines.
-	o, err := search.NewOracleShuffled(g, start, target, spec.Algorithm.Knowledge(),
-		rng.DeriveSeed(spec.Seed, uint64(3*rep+2)))
+	var oracleScratch *search.Scratch
+	if s != nil {
+		oracleScratch = &s.Search
+	}
+	o, err := search.NewOracleShuffledScratch(g, start, target, spec.Algorithm.Knowledge(),
+		rng.DeriveSeed(spec.Seed, uint64(3*rep+2)), oracleScratch)
 	if err != nil {
 		return SearchOutcome{}, fmt.Errorf("core: rep %d: %w", rep, err)
 	}
@@ -177,12 +245,18 @@ func NewMeasurement(spec SearchSpec, outcomes []SearchOutcome) Measurement {
 // MeasureSearch runs spec.Reps independent replications serially; see
 // MeasureOne for the per-replication contract.
 func MeasureSearch(gen GraphGen, spec SearchSpec) (Measurement, error) {
+	return MeasureSearchScratch(gen, spec, nil)
+}
+
+// MeasureSearchScratch is MeasureSearch reusing a worker scratch
+// across the replications (nil falls back to fresh allocation).
+func MeasureSearchScratch(gen GraphGen, spec SearchSpec, s *Scratch) (Measurement, error) {
 	if err := spec.validate(); err != nil {
 		return Measurement{}, err
 	}
 	outcomes := make([]SearchOutcome, spec.Reps)
 	for rep := range outcomes {
-		o, err := MeasureOne(gen, spec, rep)
+		o, err := MeasureOneScratch(gen, spec, rep, s)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -234,9 +308,9 @@ func MeasureScalingContext(ctx context.Context, sizes []int, genFor func(n int) 
 	for i, t := range st {
 		trials[i] = engine.Trial{Index: i, Key: spec.Algorithm.Name() + "/" + t.Key, Seed: t.Seed}
 	}
-	results, err := engine.Run(ctx, trials, opts,
-		func(_ context.Context, t engine.Trial, r *rng.RNG) (any, error) {
-			return st[t.Index].Run(r)
+	results, err := engine.RunScratch(ctx, trials, opts, NewScratch,
+		func(_ context.Context, t engine.Trial, r *rng.RNG, s *Scratch) (any, error) {
+			return st[t.Index].Run(r, s)
 		})
 	if err != nil {
 		return ScalingResult{}, err

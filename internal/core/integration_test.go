@@ -26,7 +26,7 @@ func TestEveryAlgorithmOnEveryModel(t *testing.T) {
 		{"mori-uniform", MoriGen(mori.Config{N: 150, M: 1, P: 0})},
 		{"cooper-frieze", CooperFriezeGen(cooperfrieze.Config{
 			N: 150, Alpha: 0.7, Beta: 0.5, Gamma: 0.5, Delta: 0.5, AllowLoops: true})},
-		{"barabasi-albert", func(r *rng.RNG) (*graph.Graph, error) {
+		{"barabasi-albert", func(r *rng.RNG, _ *Scratch) (*graph.Graph, error) {
 			return ba.Config{N: 150, M: 2}.Generate(r)
 		}},
 	}
@@ -107,7 +107,7 @@ func TestMeasuredMeansDominateTheorem1Bound(t *testing.T) {
 // TestRandomTargetDistinctFromStart checks the random-workload path of
 // the harness.
 func TestRandomTargetDistinctFromStart(t *testing.T) {
-	gen := func(r *rng.RNG) (*graph.Graph, error) {
+	gen := func(r *rng.RNG, _ *Scratch) (*graph.Graph, error) {
 		g, _, err := configmodel.Config{N: 500, Exponent: 2.3, MinDeg: 2}.GenerateGiant(r)
 		return g, err
 	}

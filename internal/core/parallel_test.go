@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"scalefree/internal/experiment/engine"
+	"scalefree/internal/engine"
 	"scalefree/internal/mori"
 	"scalefree/internal/search"
 )

@@ -11,11 +11,13 @@ import (
 // (the caller prepends its cell label), the derived seed, and the
 // closure to execute. Run's RNG argument drives Monte-Carlo bound
 // trials; search trials derive their own streams via MeasureOne and
-// ignore it.
+// ignore it. The scratch argument is the executing worker's reusable
+// buffer set (nil for scratch-free execution) — it never affects the
+// result value.
 type SweepTrial struct {
 	Key  string
 	Seed uint64
-	Run  func(r *rng.RNG) (any, error)
+	Run  func(r *rng.RNG, s *Scratch) (any, error)
 }
 
 // ScalingSweep decomposes one scaling measurement — a full
@@ -55,7 +57,7 @@ func NewScalingSweep(sizes []int, genFor func(n int) GraphGen, boundFor func(n i
 		searchIdx: make([][]int, len(sizes)),
 		boundIdx:  make([]int, len(sizes)),
 	}
-	add := func(key string, seed uint64, run func(r *rng.RNG) (any, error)) int {
+	add := func(key string, seed uint64, run func(r *rng.RNG, sc *Scratch) (any, error)) int {
 		s.trials = append(s.trials, SweepTrial{Key: key, Seed: seed, Run: run})
 		return len(s.trials) - 1
 	}
@@ -68,14 +70,14 @@ func NewScalingSweep(sizes []int, genFor func(n int) GraphGen, boundFor func(n i
 			s.searchIdx[si][rep] = add(
 				fmt.Sprintf("n=%d/rep=%d", n, rep),
 				rng.DeriveSeed(pointSpec.Seed, uint64(rep)),
-				func(_ *rng.RNG) (any, error) { return MeasureOne(gen, pointSpec, rep) })
+				func(_ *rng.RNG, sc *Scratch) (any, error) { return MeasureOneScratch(gen, pointSpec, rep, sc) })
 		}
 		s.boundIdx[si] = -1
 		if boundFor != nil {
 			s.boundIdx[si] = add(
 				fmt.Sprintf("n=%d/bound", n),
 				rng.DeriveSeed(spec.Seed, uint64(5000+si)),
-				func(r *rng.RNG) (any, error) { return boundFor(n, r) })
+				func(r *rng.RNG, _ *Scratch) (any, error) { return boundFor(n, r) })
 		}
 	}
 	return s, nil

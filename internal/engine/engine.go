@@ -13,6 +13,15 @@
 // Each trial gets a private RNG seeded from Trial.Seed, which is the
 // rng package's intended concurrency model: one generator per
 // goroutine, streams fanned out with rng.DeriveSeed.
+//
+// RunScratch extends the contract with per-worker scratch state: each
+// worker goroutine owns one scratch value (built by a factory at worker
+// start) that is handed to every trial the worker executes. Scratch is
+// for reusable buffers only — trial *results* must still be a pure
+// function of (Trial, r), so a trial may use the scratch's memory but
+// never read information another trial left behind. This is what makes
+// repeated fixed-size trials allocation-free without breaking the
+// bit-identical-across-worker-counts guarantee.
 package engine
 
 import (
@@ -82,6 +91,20 @@ func (o Options) effectiveWorkers(trials int) int {
 // surfaces ctx.Err(). A panicking trial is recovered and reported as an
 // error rather than tearing down the process.
 func Run[T any](ctx context.Context, trials []Trial, opts Options, fn func(ctx context.Context, t Trial, r *rng.RNG) (T, error)) ([]T, error) {
+	return RunScratch(ctx, trials, opts,
+		func() struct{} { return struct{}{} },
+		func(ctx context.Context, t Trial, r *rng.RNG, _ struct{}) (T, error) {
+			return fn(ctx, t, r)
+		})
+}
+
+// RunScratch is Run with per-worker scratch state: newScratch is called
+// once per worker goroutine and the resulting value is passed to every
+// trial that worker executes, so trials of the same shape can reuse
+// buffers instead of re-allocating. newScratch may return nil (for
+// pointer-typed scratch); fn must then fall back to fresh allocation.
+// See the package comment for the purity contract scratch must honour.
+func RunScratch[T, S any](ctx context.Context, trials []Trial, opts Options, newScratch func() S, fn func(ctx context.Context, t Trial, r *rng.RNG, scratch S) (T, error)) ([]T, error) {
 	results := make([]T, len(trials))
 	if len(trials) == 0 {
 		return results, ctx.Err()
@@ -109,6 +132,7 @@ func Run[T any](ctx context.Context, trials []Trial, opts Options, fn func(ctx c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := newScratch()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(trials) {
@@ -120,7 +144,7 @@ func Run[T any](ctx context.Context, trials []Trial, opts Options, fn func(ctx c
 					continue
 				}
 				start := time.Now()
-				res, err := runTrial(ctx, trials[i], fn)
+				res, err := runTrial(ctx, trials[i], scratch, fn)
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -162,11 +186,11 @@ func Run[T any](ctx context.Context, trials []Trial, opts Options, fn func(ctx c
 
 // runTrial runs one trial with a fresh RNG, converting panics into
 // errors so one bad trial cannot take down the pool.
-func runTrial[T any](ctx context.Context, t Trial, fn func(ctx context.Context, t Trial, r *rng.RNG) (T, error)) (res T, err error) {
+func runTrial[T, S any](ctx context.Context, t Trial, scratch S, fn func(ctx context.Context, t Trial, r *rng.RNG, scratch S) (T, error)) (res T, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("engine: trial panicked: %v", p)
 		}
 	}()
-	return fn(ctx, t, rng.New(t.Seed))
+	return fn(ctx, t, rng.New(t.Seed), scratch)
 }

@@ -219,3 +219,48 @@ func TestEffectiveWorkers(t *testing.T) {
 }
 
 func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+// TestRunScratchPerWorkerScratch verifies the scratch contract: the
+// factory runs once per worker goroutine, every trial receives a
+// non-nil scratch, and results match the scratch-free path.
+func TestRunScratchPerWorkerScratch(t *testing.T) {
+	type scratch struct{ uses int }
+	trials := make([]Trial, 64)
+	for i := range trials {
+		trials[i] = Trial{Index: i, Key: "t", Seed: rng.DeriveSeed(9, uint64(i))}
+	}
+	const workers = 4
+	var mu sync.Mutex
+	made := 0
+	results, err := RunScratch(context.Background(), trials, Options{Workers: workers},
+		func() *scratch {
+			mu.Lock()
+			made++
+			mu.Unlock()
+			return &scratch{}
+		},
+		func(_ context.Context, tr Trial, r *rng.RNG, s *scratch) (uint64, error) {
+			if s == nil {
+				t.Error("trial received nil scratch")
+				return 0, nil
+			}
+			s.uses++
+			return r.Uint64(), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if made != workers {
+		t.Errorf("scratch factory ran %d times, want one per worker (%d)", made, workers)
+	}
+	want, err := Run(context.Background(), trials, Options{Workers: 1},
+		func(_ context.Context, tr Trial, r *rng.RNG) (uint64, error) { return r.Uint64(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("trial %d: scratch path %d != scratch-free path %d", i, results[i], want[i])
+		}
+	}
+}

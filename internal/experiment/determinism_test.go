@@ -5,7 +5,7 @@ import (
 	"context"
 	"testing"
 
-	"scalefree/internal/experiment/engine"
+	"scalefree/internal/engine"
 )
 
 // renderAll renders every table of an experiment run into one string,

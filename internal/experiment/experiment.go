@@ -37,7 +37,8 @@ import (
 	"fmt"
 	"sort"
 
-	"scalefree/internal/experiment/engine"
+	"scalefree/internal/core"
+	"scalefree/internal/engine"
 	"scalefree/internal/rng"
 )
 
@@ -87,8 +88,11 @@ type Plan struct {
 	// Trials lists the independent units of work, in plan order.
 	Trials []engine.Trial
 	// Run executes one trial. It must be a pure function of (t, r) —
-	// and safe for concurrent invocation across trials.
-	Run func(ctx context.Context, t engine.Trial, r *rng.RNG) (any, error)
+	// and safe for concurrent invocation across trials. The scratch is
+	// the executing worker's reusable buffer set (per-worker state from
+	// engine.RunScratch, nil when executing scratch-free); it must
+	// never affect the result value.
+	Run func(ctx context.Context, t engine.Trial, r *rng.RNG, s *core.Scratch) (any, error)
 	// Reduce assembles the positional trial results into tables. It
 	// must be deterministic and order-independent: results[i] is the
 	// output of Trials[i] regardless of completion order.
@@ -100,13 +104,23 @@ type Plan struct {
 // result will land.
 type planBuilder struct {
 	trials []engine.Trial
-	runs   []func(ctx context.Context, r *rng.RNG) (any, error)
+	runs   []func(ctx context.Context, r *rng.RNG, s *core.Scratch) (any, error)
 }
 
 func newPlanBuilder() *planBuilder { return &planBuilder{} }
 
-// add registers one trial and returns its index into the result slice.
+// add registers one scratch-oblivious trial and returns its index into
+// the result slice.
 func (b *planBuilder) add(key string, seed uint64, run func(ctx context.Context, r *rng.RNG) (any, error)) int {
+	return b.addScratch(key, seed,
+		func(ctx context.Context, r *rng.RNG, _ *core.Scratch) (any, error) {
+			return run(ctx, r)
+		})
+}
+
+// addScratch registers one trial that reuses the worker's scratch
+// buffers and returns its index into the result slice.
+func (b *planBuilder) addScratch(key string, seed uint64, run func(ctx context.Context, r *rng.RNG, s *core.Scratch) (any, error)) int {
 	idx := len(b.trials)
 	b.trials = append(b.trials, engine.Trial{Index: idx, Key: key, Seed: seed})
 	b.runs = append(b.runs, run)
@@ -117,8 +131,8 @@ func (b *planBuilder) add(key string, seed uint64, run func(ctx context.Context,
 func (b *planBuilder) build(reduce func(results []any) ([]Table, error)) *Plan {
 	return &Plan{
 		Trials: b.trials,
-		Run: func(ctx context.Context, t engine.Trial, r *rng.RNG) (any, error) {
-			return b.runs[t.Index](ctx, r)
+		Run: func(ctx context.Context, t engine.Trial, r *rng.RNG, s *core.Scratch) (any, error) {
+			return b.runs[t.Index](ctx, r, s)
 		},
 		Reduce: reduce,
 	}
@@ -140,13 +154,14 @@ func (e Experiment) Run(cfg Config) ([]Table, error) {
 }
 
 // RunContext plans the experiment, executes its trials on the engine
-// with the given options, and reduces the results into tables.
+// with the given options (one reusable core.Scratch per worker), and
+// reduces the results into tables.
 func (e Experiment) RunContext(ctx context.Context, cfg Config, opts engine.Options) ([]Table, error) {
 	plan, err := e.Plan(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: planning: %w", e.ID, err)
 	}
-	results, err := engine.Run(ctx, plan.Trials, opts, plan.Run)
+	results, err := engine.RunScratch(ctx, plan.Trials, opts, core.NewScratch, plan.Run)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.ID, err)
 	}

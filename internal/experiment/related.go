@@ -53,7 +53,7 @@ func PlanE8(cfg Config) (*Plan, error) {
 			collect := addScalingCell(b,
 				fmt.Sprintf("E8/k=%v/%s", k, a.alg.Name()), sizes,
 				func(n int) core.GraphGen {
-					return func(r *rng.RNG) (*graph.Graph, error) {
+					return func(r *rng.RNG, _ *core.Scratch) (*graph.Graph, error) {
 						g, _, err := configmodel.Config{N: n, Exponent: k, MinDeg: 2}.GenerateGiant(r)
 						return g, err
 					}
@@ -162,16 +162,16 @@ func PlanE9(cfg Config) (*Plan, error) {
 	contrastIdx := make([]int, len(contrastSizes))
 	for i, n := range contrastSizes {
 		seed := cfg.seed(850 + uint64(i))
-		contrastIdx[i] = b.add(
+		contrastIdx[i] = b.addScratch(
 			fmt.Sprintf("E9b/n=%d", n), seed,
-			func(_ context.Context, _ *rng.RNG) (any, error) {
-				return core.MeasureSearch(
+			func(_ context.Context, _ *rng.RNG, s *core.Scratch) (any, error) {
+				return core.MeasureSearchScratch(
 					core.MoriGen(mori.Config{N: n, M: 1, P: 0.5}),
 					core.SearchSpec{
 						Algorithm: search.NewIDGreedyWeak(),
 						Reps:      searchReps,
 						Seed:      seed,
-					})
+					}, s)
 			})
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"scalefree/internal/ba"
 	"scalefree/internal/configmodel"
+	"scalefree/internal/core"
 	"scalefree/internal/graph"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
@@ -29,7 +30,7 @@ func PlanE5(cfg Config) (*Plan, error) {
 		idx      [][]int // [size][rep] -> trial index
 	}
 	var cells []cell
-	addCell := func(name string, expected float64, gen func(n int, r *rng.RNG) (int, error), stream uint64) {
+	addCell := func(name string, expected float64, gen func(n int, r *rng.RNG, s *core.Scratch) (int, error), stream uint64) {
 		c := cell{name: name, expected: expected, idx: make([][]int, len(sizes))}
 		cellSeed := cfg.seed(400 + stream)
 		for i, n := range sizes {
@@ -37,11 +38,11 @@ func PlanE5(cfg Config) (*Plan, error) {
 			for rep := 0; rep < reps; rep++ {
 				// Seed derivation matches the historical serial harness:
 				// one stream per (size, replication) pair.
-				c.idx[i][rep] = b.add(
+				c.idx[i][rep] = b.addScratch(
 					fmt.Sprintf("E5/%s/n=%d/rep=%d", name, n, rep),
 					rng.DeriveSeed(cellSeed, uint64(i*1000+rep)),
-					func(_ context.Context, r *rng.RNG) (any, error) {
-						d, err := gen(n, r)
+					func(_ context.Context, r *rng.RNG, s *core.Scratch) (any, error) {
+						d, err := gen(n, r, s)
 						return float64(d), err
 					})
 			}
@@ -50,8 +51,8 @@ func PlanE5(cfg Config) (*Plan, error) {
 	}
 
 	for i, p := range []float64{0.25, 0.5, 0.75, 1.0} {
-		addCell(fmt.Sprintf("mori p=%.2f", p), p, func(n int, r *rng.RNG) (int, error) {
-			t, err := mori.GenerateTree(r, n, p)
+		addCell(fmt.Sprintf("mori p=%.2f", p), p, func(n int, r *rng.RNG, s *core.Scratch) (int, error) {
+			t, err := mori.GenerateTreeScratch(r, n, p, moriScratch(s))
 			if err != nil {
 				return 0, err
 			}
@@ -64,7 +65,7 @@ func PlanE5(cfg Config) (*Plan, error) {
 			return best, nil
 		}, uint64(i))
 	}
-	addCell("barabasi-albert m=1", 0.5, func(n int, r *rng.RNG) (int, error) {
+	addCell("barabasi-albert m=1", 0.5, func(n int, r *rng.RNG, _ *core.Scratch) (int, error) {
 		g, err := ba.Config{N: n, M: 1}.Generate(r)
 		if err != nil {
 			return 0, err
@@ -228,19 +229,19 @@ func PlanE7(cfg Config) (*Plan, error) {
 	}
 	gens := []struct {
 		name string
-		gen  func(n int, r *rng.RNG) (*graph.Graph, error)
+		gen  func(n int, r *rng.RNG, s *core.Scratch) (*graph.Graph, error)
 	}{
-		{"mori p=0.5 m=2", func(n int, r *rng.RNG) (*graph.Graph, error) {
-			return mori.Config{N: n, M: 2, P: 0.5}.Generate(r)
+		{"mori p=0.5 m=2", func(n int, r *rng.RNG, s *core.Scratch) (*graph.Graph, error) {
+			return mori.Config{N: n, M: 2, P: 0.5}.GenerateScratch(r, moriScratch(s))
 		}},
-		{"cooper-frieze α=0.8", func(n int, r *rng.RNG) (*graph.Graph, error) {
-			res, err := cfConfig(n, 0.8).Generate(r)
+		{"cooper-frieze α=0.8", func(n int, r *rng.RNG, s *core.Scratch) (*graph.Graph, error) {
+			res, err := cfConfig(n, 0.8).GenerateScratch(r, cfScratch(s))
 			if err != nil {
 				return nil, err
 			}
 			return res.Graph, nil
 		}},
-		{"barabasi-albert m=2", func(n int, r *rng.RNG) (*graph.Graph, error) {
+		{"barabasi-albert m=2", func(n int, r *rng.RNG, _ *core.Scratch) (*graph.Graph, error) {
 			return ba.Config{N: n, M: 2}.Generate(r)
 		}},
 	}
@@ -252,10 +253,10 @@ func PlanE7(cfg Config) (*Plan, error) {
 	var cells []cell
 	for gi, gspec := range gens {
 		for si, n := range sizes {
-			idx := b.add(fmt.Sprintf("E7/%s/n=%d", gspec.name, n),
+			idx := b.addScratch(fmt.Sprintf("E7/%s/n=%d", gspec.name, n),
 				cfg.seed(600+uint64(gi*100+si)),
-				func(_ context.Context, r *rng.RNG) (any, error) {
-					g, err := gspec.gen(n, r)
+				func(_ context.Context, r *rng.RNG, s *core.Scratch) (any, error) {
+					g, err := gspec.gen(n, r, s)
 					if err != nil {
 						return nil, err
 					}
@@ -263,9 +264,17 @@ func PlanE7(cfg Config) (*Plan, error) {
 					for i := range sources {
 						sources[i] = graph.Vertex(r.IntRange(1, g.NumVertices()))
 					}
+					var dist []int32
+					var queue []graph.Vertex
+					if s != nil {
+						dist, queue = s.BFSBuffers(g.NumVertices())
+					} else {
+						dist = make([]int32, g.NumVertices()+1)
+						queue = make([]graph.Vertex, 0, g.NumVertices())
+					}
 					return distResult{
-						meanDist: graph.AverageDistanceSampled(g, sources),
-						diam:     graph.DoubleSweepLowerBound(g, sources[0]),
+						meanDist: graph.AverageDistanceSampledInto(g, sources, dist, queue),
+						diam:     graph.DoubleSweepLowerBoundInto(g, sources[0], dist, queue),
 					}, nil
 				})
 			cells = append(cells, cell{name: gspec.name, n: n, idx: idx})

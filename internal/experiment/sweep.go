@@ -3,7 +3,9 @@ package experiment
 import (
 	"context"
 
+	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/core"
+	"scalefree/internal/mori"
 	"scalefree/internal/rng"
 )
 
@@ -39,8 +41,8 @@ func addScalingCell(b *planBuilder, key string, sizes []int,
 	st := sweep.Trials()
 	idx := make([]int, len(st))
 	for i, t := range st {
-		idx[i] = b.add(key+"/"+t.Key, t.Seed,
-			func(_ context.Context, r *rng.RNG) (any, error) { return t.Run(r) })
+		idx[i] = b.addScratch(key+"/"+t.Key, t.Seed,
+			func(_ context.Context, r *rng.RNG, s *core.Scratch) (any, error) { return t.Run(r, s) })
 	}
 	return func(results []any) (core.ScalingResult, error) {
 		sub := make([]any, len(idx))
@@ -55,4 +57,22 @@ func addScalingCell(b *planBuilder, key string, sizes []int,
 // bound signature.
 func exactBound(f func(n int) (float64, error)) func(n int, r *rng.RNG) (float64, error) {
 	return func(n int, _ *rng.RNG) (float64, error) { return f(n) }
+}
+
+// moriScratch projects a worker scratch onto its Móri generation
+// buffers; nil stays nil (fresh allocation).
+func moriScratch(s *core.Scratch) *mori.Scratch {
+	if s == nil {
+		return nil
+	}
+	return &s.Mori
+}
+
+// cfScratch projects a worker scratch onto its Cooper–Frieze
+// generation buffers; nil stays nil.
+func cfScratch(s *core.Scratch) *cooperfrieze.Scratch {
+	if s == nil {
+		return nil
+	}
+	return &s.CF
 }

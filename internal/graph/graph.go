@@ -17,6 +17,8 @@
 //     half-edges, so a self-loop contributes two.
 package graph
 
+import "scalefree/internal/buf"
+
 // Vertex identifies a vertex; identities are 1-based.
 type Vertex int32
 
@@ -42,10 +44,16 @@ type Half struct {
 // Builder is a growable directed multigraph under construction by one
 // of the evolving models. The zero value is an empty graph ready to
 // use; NewBuilder pre-allocates capacity.
+//
+// The builder stores only the flat edge list plus per-vertex degree
+// counters; per-vertex incidence is materialized once, at Freeze time,
+// by a two-pass counting build (degree count → prefix sum → fill). That
+// keeps AddEdge O(1) with no per-vertex slice allocations, so building
+// an n-vertex, m-edge graph costs O(n + m) time and O(1) allocations
+// beyond the four flat arrays.
 type Builder struct {
 	from, to []Vertex
-	inc      [][]Half // 1-based: inc[0] is unused padding
-	indeg    []int32
+	indeg    []int32 // 1-based: indeg[0] is unused padding
 	outdeg   []int32
 }
 
@@ -53,30 +61,39 @@ type Builder struct {
 // and edge counts. Hints only affect allocation, not semantics.
 func NewBuilder(vertexCap, edgeCap int) *Builder {
 	b := &Builder{}
-	if vertexCap > 0 {
-		b.inc = make([][]Half, 1, vertexCap+1)
+	b.Reset(vertexCap, edgeCap)
+	return b
+}
+
+// Reset empties the builder for reuse, keeping (and, when the hints ask
+// for more, growing) the backing arrays. A Reset builder plus
+// FreezeInto makes repeated same-size graph construction allocation-
+// free.
+func (b *Builder) Reset(vertexCap, edgeCap int) {
+	if cap(b.indeg) < vertexCap+1 {
 		b.indeg = make([]int32, 1, vertexCap+1)
 		b.outdeg = make([]int32, 1, vertexCap+1)
 	} else {
-		b.inc = make([][]Half, 1)
-		b.indeg = make([]int32, 1)
-		b.outdeg = make([]int32, 1)
+		b.indeg = b.indeg[:1]
+		b.outdeg = b.outdeg[:1]
+		b.indeg[0], b.outdeg[0] = 0, 0
 	}
-	if edgeCap > 0 {
+	if cap(b.from) < edgeCap {
 		b.from = make([]Vertex, 0, edgeCap)
 		b.to = make([]Vertex, 0, edgeCap)
+	} else {
+		b.from = b.from[:0]
+		b.to = b.to[:0]
 	}
-	return b
 }
 
 // AddVertex appends a new vertex and returns its identity, which is
 // always the current vertex count plus one.
 func (b *Builder) AddVertex() Vertex {
 	b.ensureInit()
-	b.inc = append(b.inc, nil)
 	b.indeg = append(b.indeg, 0)
 	b.outdeg = append(b.outdeg, 0)
-	return Vertex(len(b.inc) - 1)
+	return Vertex(len(b.indeg) - 1)
 }
 
 // AddVertices appends k new vertices.
@@ -87,8 +104,7 @@ func (b *Builder) AddVertices(k int) {
 }
 
 func (b *Builder) ensureInit() {
-	if len(b.inc) == 0 {
-		b.inc = make([][]Half, 1)
+	if len(b.indeg) == 0 {
 		b.indeg = make([]int32, 1)
 		b.outdeg = make([]int32, 1)
 	}
@@ -98,21 +114,24 @@ func (b *Builder) ensureInit() {
 // Both endpoints must already exist. Self-loops and parallel edges are
 // legal; a self-loop adds two halves to the owner's incidence list.
 func (b *Builder) AddEdge(u, v Vertex) EdgeID {
-	if u <= 0 || int(u) >= len(b.inc) || v <= 0 || int(v) >= len(b.inc) {
+	if u <= 0 || int(u) >= len(b.indeg) || v <= 0 || int(v) >= len(b.indeg) {
 		panic("graph: AddEdge endpoint out of range")
 	}
 	e := EdgeID(len(b.from))
 	b.from = append(b.from, u)
 	b.to = append(b.to, v)
-	b.inc[u] = append(b.inc[u], Half{Edge: e, Other: v, Out: true})
-	b.inc[v] = append(b.inc[v], Half{Edge: e, Other: u, Out: false})
 	b.outdeg[u]++
 	b.indeg[v]++
 	return e
 }
 
 // NumVertices returns the number of vertices added so far.
-func (b *Builder) NumVertices() int { return len(b.inc) - 1 }
+func (b *Builder) NumVertices() int {
+	if len(b.indeg) == 0 {
+		return 0
+	}
+	return len(b.indeg) - 1
+}
 
 // NumEdges returns the number of edges added so far.
 func (b *Builder) NumEdges() int { return len(b.from) }
@@ -124,7 +143,7 @@ func (b *Builder) InDegree(v Vertex) int { return int(b.indeg[v]) }
 func (b *Builder) OutDegree(v Vertex) int { return int(b.outdeg[v]) }
 
 // Degree returns the undirected degree of v (self-loops count twice).
-func (b *Builder) Degree(v Vertex) int { return len(b.inc[v]) }
+func (b *Builder) Degree(v Vertex) int { return int(b.indeg[v] + b.outdeg[v]) }
 
 // Endpoints returns the tail and head of edge e.
 func (b *Builder) Endpoints(e EdgeID) (from, to Vertex) {
@@ -134,26 +153,53 @@ func (b *Builder) Endpoints(e EdgeID) (from, to Vertex) {
 // Freeze converts the builder into an immutable CSR Graph. The builder
 // remains usable afterwards; the snapshot copies all state.
 func (b *Builder) Freeze() *Graph {
+	return b.FreezeInto(new(Graph))
+}
+
+// FreezeInto is Freeze writing into a caller-owned Graph whose backing
+// arrays are reused when large enough, so repeated same-size snapshots
+// allocate nothing. The previous contents of g are overwritten; the
+// returned pointer is g. The snapshot is a copy — mutating the builder
+// afterwards does not affect it (the next FreezeInto does).
+//
+// Incidence order matches the historical per-vertex append order: each
+// vertex's halves appear in edge-insertion order, with a self-loop
+// contributing its Out half before its In half.
+func (b *Builder) FreezeInto(g *Graph) *Graph {
 	b.ensureInit()
 	n := b.NumVertices()
-	g := &Graph{
-		n:      n,
-		from:   append([]Vertex(nil), b.from...),
-		to:     append([]Vertex(nil), b.to...),
-		indeg:  append([]int32(nil), b.indeg...),
-		outdeg: append([]int32(nil), b.outdeg...),
-	}
-	g.off = make([]int32, n+2)
-	total := 0
+	m := len(b.from)
+	g.n = n
+	g.from = buf.Grow(g.from, m)
+	copy(g.from, b.from)
+	g.to = buf.Grow(g.to, m)
+	copy(g.to, b.to)
+	g.indeg = buf.Grow(g.indeg, n+1)
+	copy(g.indeg, b.indeg)
+	g.outdeg = buf.Grow(g.outdeg, n+1)
+	copy(g.outdeg, b.outdeg)
+
+	// Counting build: off[v] starts as the first half slot of v
+	// (prefix sums of undirected degrees) and doubles as the fill
+	// cursor; a final shift restores the CSR convention off[v] =
+	// start(v), off[n+1] = 2m.
+	g.off = buf.Grow(g.off, n+2)
+	g.off[0], g.off[1] = 0, 0
 	for v := 1; v <= n; v++ {
-		total += len(b.inc[v])
+		g.off[v+1] = g.off[v] + b.indeg[v] + b.outdeg[v]
 	}
-	g.halves = make([]Half, 0, total)
-	for v := 1; v <= n; v++ {
-		g.off[v] = int32(len(g.halves))
-		g.halves = append(g.halves, b.inc[v]...)
+	g.halves = buf.Grow(g.halves, 2*m)
+	for e := 0; e < m; e++ {
+		u, v := b.from[e], b.to[e]
+		g.halves[g.off[u]] = Half{Edge: EdgeID(e), Other: v, Out: true}
+		g.off[u]++
+		g.halves[g.off[v]] = Half{Edge: EdgeID(e), Other: u, Out: false}
+		g.off[v]++
 	}
-	g.off[n+1] = int32(len(g.halves))
+	for v := n + 1; v >= 2; v-- {
+		g.off[v] = g.off[v-1]
+	}
+	g.off[1] = 0
 	return g
 }
 

@@ -55,7 +55,14 @@ func Eccentricity(g *Graph, src Vertex) int {
 // component using the classic double-sweep heuristic: BFS from src,
 // then BFS again from the farthest vertex found.
 func DoubleSweepLowerBound(g *Graph, src Vertex) int {
-	dist := BFS(g, src)
+	n := g.NumVertices()
+	return DoubleSweepLowerBoundInto(g, src, make([]int32, n+1), make([]Vertex, 0, n))
+}
+
+// DoubleSweepLowerBoundInto is DoubleSweepLowerBound with caller-
+// provided BFS buffers (BFSInto conventions) for allocation-free reuse.
+func DoubleSweepLowerBoundInto(g *Graph, src Vertex, dist []int32, queue []Vertex) int {
+	BFSInto(g, src, dist, queue)
 	far := src
 	best := int32(0)
 	for v := Vertex(1); v <= Vertex(g.NumVertices()); v++ {
@@ -64,7 +71,14 @@ func DoubleSweepLowerBound(g *Graph, src Vertex) int {
 			far = v
 		}
 	}
-	return Eccentricity(g, far)
+	BFSInto(g, far, dist, queue)
+	ecc := int32(0)
+	for v := 1; v <= g.NumVertices(); v++ {
+		if dist[v] > ecc {
+			ecc = dist[v]
+		}
+	}
+	return int(ecc)
 }
 
 // ExactDiameter computes the exact diameter of a connected graph by
@@ -90,12 +104,17 @@ func ExactDiameter(g *Graph) int {
 // src's component by running BFS from sources and averaging finite
 // distances. sources must be non-empty.
 func AverageDistanceSampled(g *Graph, sources []Vertex) float64 {
+	n := g.NumVertices()
+	return AverageDistanceSampledInto(g, sources, make([]int32, n+1), make([]Vertex, 0, n))
+}
+
+// AverageDistanceSampledInto is AverageDistanceSampled with caller-
+// provided BFS buffers (BFSInto conventions) for allocation-free reuse.
+func AverageDistanceSampledInto(g *Graph, sources []Vertex, dist []int32, queue []Vertex) float64 {
 	if len(sources) == 0 {
 		panic("graph: AverageDistanceSampled needs at least one source")
 	}
 	n := g.NumVertices()
-	dist := make([]int32, n+1)
-	queue := make([]Vertex, 0, n)
 	var sum float64
 	var count int64
 	for _, src := range sources {

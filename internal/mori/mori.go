@@ -27,14 +27,21 @@
 // weight splits as p·E + (1−p)·V with E the total indegree (t−2) and V
 // the vertex count (t−1), so the generator flips a coin with the exact
 // state-dependent probability and then draws either proportionally to
-// indegree (Fenwick tree, O(log n)) or uniformly. Generation of an
-// n-vertex tree costs O(n log n).
+// indegree or uniformly. Because the coin is flipped *before* the
+// vertex draw, the preferential draw is pure hit-count sampling and is
+// served by the O(1) endpoint array (weights.EndpointArray): generation
+// of an n-vertex tree costs O(n) time and O(1) allocations (amortized
+// zero with a Scratch). GenerateTreeFenwick keeps the historical
+// O(n log n) Fenwick-tree path as the reference implementation the
+// production sampler is validated against (chi-square equivalence in
+// the tests, BenchmarkGenerateMori for the speedup).
 package mori
 
 import (
 	"fmt"
 	"math"
 
+	"scalefree/internal/buf"
 	"scalefree/internal/graph"
 	"scalefree/internal/rng"
 	"scalefree/internal/weights"
@@ -49,8 +56,52 @@ type Tree struct {
 }
 
 // GenerateTree draws a Móri tree with size >= 2 vertices and mixing
-// parameter 0 < p <= 1.
+// parameter 0 < p <= 1, in O(n) time via endpoint-array preferential
+// sampling.
 func GenerateTree(r *rng.RNG, size int, p float64) (*Tree, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("mori: tree size %d < 2", size)
+	}
+	if err := validateP(p); err != nil {
+		return nil, err
+	}
+	t := &Tree{P: p, Fathers: make([]graph.Vertex, size+1)}
+	generateTree(r, size, p, t.Fathers, weights.NewEndpointArray(size-1))
+	return t, nil
+}
+
+// generateTree fills fathers (length size+1, entries 0 and 1 zeroed)
+// with a fresh draw, recording every attachment endpoint in ends. The
+// endpoint array holds one entry per indegree hit, so a uniform draw
+// from it is exactly the indegree-proportional draw of the model.
+func generateTree(r *rng.RNG, size int, p float64, fathers []graph.Vertex, ends *weights.EndpointArray) {
+	fathers[0], fathers[1] = 0, 0
+	fathers[2] = 1
+	ends.Record(1) // the initial edge 2 → 1
+	for k := 3; k <= size; k++ {
+		// Before inserting vertex k there are k-1 vertices and k-2
+		// edges, so the total attachment weight is p(k-2) + (1-p)(k-1).
+		prefMass := p * float64(k-2)
+		unifMass := (1 - p) * float64(k-1)
+		var u graph.Vertex
+		if r.Float64()*(prefMass+unifMass) < prefMass {
+			u = graph.Vertex(ends.Sample(r))
+		} else {
+			u = graph.Vertex(r.IntRange(1, k-1))
+		}
+		fathers[k] = u
+		ends.Record(int32(u))
+	}
+}
+
+// GenerateTreeFenwick is the historical O(n log n) generator drawing
+// the preferential vertex from a Fenwick tree over indegrees. It
+// samples exactly the same distribution as GenerateTree and is kept as
+// the reference implementation for the sampler ablation
+// (BenchmarkGenerateMori, DESIGN.md §5.2) and the chi-square
+// equivalence test; the two consume RNG streams differently, so equal
+// seeds yield different (identically distributed) trees.
+func GenerateTreeFenwick(r *rng.RNG, size int, p float64) (*Tree, error) {
 	if size < 2 {
 		return nil, fmt.Errorf("mori: tree size %d < 2", size)
 	}
@@ -62,8 +113,6 @@ func GenerateTree(r *rng.RNG, size int, p float64) (*Tree, error) {
 	indeg := weights.NewFenwick(size)
 	indeg.Add(1, 1) // the initial edge 2 → 1
 	for k := 3; k <= size; k++ {
-		// Before inserting vertex k there are k-1 vertices and k-2
-		// edges, so the total attachment weight is p(k-2) + (1-p)(k-1).
 		prefMass := p * float64(k-2)
 		unifMass := (1 - p) * float64(k-1)
 		var u graph.Vertex
@@ -121,13 +170,19 @@ func Merge(t *Tree, m int) (*graph.Graph, error) {
 	if size%m != 0 {
 		return nil, fmt.Errorf("mori: tree size %d not divisible by merge factor %d", size, m)
 	}
-	n := size / m
-	b := graph.NewBuilder(n, size-1)
-	b.AddVertices(n)
+	return mergeInto(t, m, graph.NewBuilder(size/m, size-1), new(graph.Graph)), nil
+}
+
+// mergeInto performs the merge through a caller-owned builder and
+// snapshot (both reused when their capacity suffices). The builder must
+// be freshly Reset.
+func mergeInto(t *Tree, m int, b *graph.Builder, g *graph.Graph) *graph.Graph {
+	size := t.Size()
+	b.AddVertices(size / m)
 	for k := 2; k <= size; k++ {
 		b.AddEdge(mergedID(graph.Vertex(k), m), mergedID(t.Fathers[k], m))
 	}
-	return b.Freeze(), nil
+	return b.FreezeInto(g)
 }
 
 // mergedID maps tree vertex v to its block identity under merge factor m.
@@ -169,6 +224,60 @@ func (c Config) Generate(r *rng.RNG) (*graph.Graph, error) {
 		return nil, err
 	}
 	return Merge(t, c.M)
+}
+
+// Scratch holds the reusable buffers of one generation worker: the
+// tree's father array, the endpoint array, and the merge builder plus
+// its CSR snapshot. The zero value is ready to use; after a warm-up
+// generation, repeated same-size GenerateScratch calls allocate
+// nothing.
+type Scratch struct {
+	tree    Tree
+	ends    weights.EndpointArray
+	builder graph.Builder
+	g       graph.Graph
+}
+
+// GenerateTreeScratch is GenerateTree through s's reusable buffers:
+// after a warm-up call, repeated same-size draws allocate nothing. The
+// returned tree aliases s and is valid until the next use of the same
+// scratch. A nil scratch falls back to GenerateTree; equal seeds yield
+// the identical tree either way.
+func GenerateTreeScratch(r *rng.RNG, size int, p float64, s *Scratch) (*Tree, error) {
+	if s == nil {
+		return GenerateTree(r, size, p)
+	}
+	if size < 2 {
+		return nil, fmt.Errorf("mori: tree size %d < 2", size)
+	}
+	if err := validateP(p); err != nil {
+		return nil, err
+	}
+	// generateTree overwrites every entry, so plain Grow suffices.
+	s.tree.Fathers = buf.Grow(s.tree.Fathers, size+1)
+	s.tree.P = p
+	s.ends.Reset(size - 1)
+	generateTree(r, size, p, s.tree.Fathers, &s.ends)
+	return &s.tree, nil
+}
+
+// GenerateScratch is Generate drawing the identical distribution (and,
+// for equal seeds, the identical graph) through s's reusable buffers.
+// The returned graph aliases s and is valid until the next call with
+// the same scratch; callers that outlive the scratch must use Generate.
+func (c Config) GenerateScratch(r *rng.RNG, s *Scratch) (*graph.Graph, error) {
+	if s == nil {
+		return c.Generate(r)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := GenerateTreeScratch(r, c.N*c.M, c.P, s)
+	if err != nil {
+		return nil, err
+	}
+	s.builder.Reset(c.N, c.N*c.M-1)
+	return mergeInto(t, c.M, &s.builder, &s.g), nil
 }
 
 func validateP(p float64) error {

@@ -35,6 +35,14 @@ func splitmix64(x *uint64) uint64 {
 // Equal seeds yield identical streams.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator in place, exactly as New(seed)
+// would, so long-lived scratch state can restart streams without
+// allocating a generator per trial.
+func (r *RNG) Reseed(seed uint64) {
 	x := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
@@ -45,7 +53,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // DeriveSeed deterministically derives an independent child seed from a

@@ -296,3 +296,15 @@ func TestParetoBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(1)
+	r.Uint64() // disturb the state
+	r.Reseed(42)
+	want := New(42)
+	for i := 0; i < 16; i++ {
+		if got, exp := r.Uint64(), want.Uint64(); got != exp {
+			t.Fatalf("draw %d: Reseed stream %d != New stream %d", i, got, exp)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 
+	"scalefree/internal/buf"
 	"scalefree/internal/graph"
 	"scalefree/internal/rng"
 )
@@ -73,6 +74,10 @@ type View struct {
 
 // Oracle mediates all access of a searching process to the hidden
 // graph, enforcing the chosen knowledge model and counting requests.
+//
+// All per-vertex state is held in vertex-indexed tables (length n+1)
+// rather than maps, so lookups on the request hot path are O(1) array
+// reads and the tables can be cleared and reused through a Scratch.
 type Oracle struct {
 	g         *graph.Graph
 	knowledge Knowledge
@@ -82,21 +87,25 @@ type Oracle struct {
 	requests int
 	found    bool
 
-	views map[graph.Vertex]*View
+	views []*View        // vertex-indexed; nil = unknown
 	order []graph.Vertex // discovery order
 
 	// Strong model: identity+degree known, adjacency not yet requested.
-	visible      map[graph.Vertex]bool
+	visible      []bool // vertex-indexed
 	visibleOrder []graph.Vertex
 
-	parent map[graph.Vertex]graph.Vertex // discovery tree for FoundPath
+	parent []graph.Vertex // discovery tree for FoundPath; NoVertex = none
 
 	// Slot shuffling (see NewOracleShuffled): perm maps searcher-visible
-	// slots to physical incidence slots, inv is its inverse. nil maps
-	// mean identity order.
+	// slots to physical incidence slots, inv is its inverse. A nil
+	// shuffler means identity order; per-vertex entries fill lazily.
 	shuffler *rng.RNG
-	perm     map[graph.Vertex][]int32
-	inv      map[graph.Vertex][]int32
+	perm     [][]int32
+	inv      [][]int32
+
+	// scratch, when non-nil, supplies the slab arenas behind the
+	// per-vertex slices; nil falls back to fresh allocation.
+	scratch *Scratch
 
 	tracing bool
 	trace   []TraceEvent
@@ -113,7 +122,7 @@ type Oracle struct {
 // therefore use NewOracleShuffled; plain NewOracle is kept for tests
 // and debugging, where predictable slots are convenient.
 func NewOracle(g *graph.Graph, start, target graph.Vertex, k Knowledge) (*Oracle, error) {
-	return newOracle(g, start, target, k, nil)
+	return newOracle(g, start, target, k, nil, nil)
 }
 
 // NewOracleShuffled is NewOracle with age-censored slot order: every
@@ -122,10 +131,24 @@ func NewOracle(g *graph.Graph, start, target graph.Vertex, k Knowledge) (*Oracle
 // information beyond what the paper's model reveals. All measurements
 // in the repository use this constructor.
 func NewOracleShuffled(g *graph.Graph, start, target graph.Vertex, k Knowledge, seed uint64) (*Oracle, error) {
-	return newOracle(g, start, target, k, rng.New(rng.DeriveSeed(seed, 0x51075107)))
+	return newOracle(g, start, target, k, rng.New(rng.DeriveSeed(seed, 0x51075107)), nil)
 }
 
-func newOracle(g *graph.Graph, start, target graph.Vertex, k Knowledge, shuffler *rng.RNG) (*Oracle, error) {
+// NewOracleShuffledScratch is NewOracleShuffled through a reusable
+// Scratch: the oracle value, its vertex tables, the shuffler, and all
+// per-vertex slices come from s, so repeated same-size searches
+// allocate nothing once warm. The returned oracle is s's single live
+// oracle — the next construction with the same scratch invalidates it.
+// A nil scratch falls back to NewOracleShuffled.
+func NewOracleShuffledScratch(g *graph.Graph, start, target graph.Vertex, k Knowledge, seed uint64, s *Scratch) (*Oracle, error) {
+	if s == nil {
+		return NewOracleShuffled(g, start, target, k, seed)
+	}
+	s.shuffler.Reseed(rng.DeriveSeed(seed, 0x51075107))
+	return newOracle(g, start, target, k, &s.shuffler, s)
+}
+
+func newOracle(g *graph.Graph, start, target graph.Vertex, k Knowledge, shuffler *rng.RNG, s *Scratch) (*Oracle, error) {
 	if k != Weak && k != Strong {
 		return nil, fmt.Errorf("search: unknown knowledge model %d", int(k))
 	}
@@ -136,32 +159,93 @@ func newOracle(g *graph.Graph, start, target graph.Vertex, k Knowledge, shuffler
 	if target < 1 || target > n {
 		return nil, fmt.Errorf("search: target vertex %d out of [1, %d]", target, n)
 	}
-	o := &Oracle{
-		g:         g,
-		knowledge: k,
-		start:     start,
-		target:    target,
-		views:     make(map[graph.Vertex]*View),
-		visible:   make(map[graph.Vertex]bool),
-		parent:    make(map[graph.Vertex]graph.Vertex),
-		shuffler:  shuffler,
+	var o *Oracle
+	if s != nil {
+		// Reuse the scratch oracle's tables; every field is reassigned
+		// below, so stale state cannot leak between searches.
+		o = &s.oracle
+		s.viewSlab.reset()
+		s.slotSlab.reset()
+		s.vertexSlab.reset()
+	} else {
+		o = &Oracle{}
 	}
+	o.g = g
+	o.knowledge = k
+	o.start = start
+	o.target = target
+	o.requests = 0
+	o.found = false
+	o.views = buf.GrowClear(o.views, int(n)+1)
+	o.visible = buf.GrowClear(o.visible, int(n)+1)
+	o.parent = buf.GrowClear(o.parent, int(n)+1)
+	o.order = o.order[:0]
+	o.visibleOrder = o.visibleOrder[:0]
+	o.shuffler = shuffler
+	o.perm = o.perm[:0]
+	o.inv = o.inv[:0]
 	if shuffler != nil {
-		o.perm = make(map[graph.Vertex][]int32)
-		o.inv = make(map[graph.Vertex][]int32)
+		o.perm = buf.GrowClear(o.perm, int(n)+1)
+		o.inv = buf.GrowClear(o.inv, int(n)+1)
 	}
+	o.scratch = s
+	o.tracing = false
+	o.trace = nil
 	switch k {
 	case Weak:
 		o.discover(start, graph.NoVertex)
 	case Strong:
 		o.visible[start] = true
 		o.visibleOrder = append(o.visibleOrder, start)
-		o.views[start] = &View{ID: start, Degree: g.Degree(start)}
+		v := o.newView()
+		*v = View{ID: start, Degree: g.Degree(start)}
+		o.views[start] = v
 		if start == target {
 			o.found = true
 		}
 	}
 	return o, nil
+}
+
+// newView hands out one zeroed View, from the scratch slab when
+// present.
+func (o *Oracle) newView() *View {
+	if o.scratch != nil {
+		return o.scratch.viewSlab.allocOne()
+	}
+	return &View{}
+}
+
+// Zero-length per-vertex slices must still be non-nil: nil means
+// "not built yet" for perm entries and "adjacency not yet requested"
+// for strong-model Resolved tables.
+var (
+	emptySlots    = make([]int32, 0)
+	emptyVertices = make([]graph.Vertex, 0)
+)
+
+// allocSlots hands out a zeroed int32 slice of length n for slot
+// permutations, from the scratch slab when present.
+func (o *Oracle) allocSlots(n int) []int32 {
+	if n == 0 {
+		return emptySlots
+	}
+	if o.scratch != nil {
+		return o.scratch.slotSlab.alloc(n)
+	}
+	return make([]int32, n)
+}
+
+// allocVertices hands out a zeroed vertex slice of length n for
+// resolved-endpoint tables, from the scratch slab when present.
+func (o *Oracle) allocVertices(n int) []graph.Vertex {
+	if n == 0 {
+		return emptyVertices
+	}
+	if o.scratch != nil {
+		return o.scratch.vertexSlab.alloc(n)
+	}
+	return make([]graph.Vertex, n)
 }
 
 // ensurePerm lazily builds the visible→physical slot permutation (and
@@ -170,12 +254,12 @@ func (o *Oracle) ensurePerm(v graph.Vertex) {
 	if o.shuffler == nil {
 		return
 	}
-	if _, ok := o.perm[v]; ok {
+	if o.perm[v] != nil {
 		return
 	}
 	deg := o.g.Degree(v)
-	p := make([]int32, deg)
-	inv := make([]int32, deg)
+	p := o.allocSlots(deg)
+	inv := o.allocSlots(deg)
 	for i := range p {
 		p[i] = int32(i)
 	}
@@ -236,22 +320,27 @@ func (o *Oracle) Discovered() []graph.Vertex { return o.order }
 // returned view is shared state owned by the oracle; callers must
 // treat it as read-only.
 func (o *Oracle) ViewOf(v graph.Vertex) (*View, bool) {
-	view, ok := o.views[v]
-	return view, ok
+	if v < 1 || int(v) >= len(o.views) {
+		return nil, false
+	}
+	view := o.views[v]
+	return view, view != nil
 }
 
 // discover adds v to the discovered set with a fresh weak-model view.
 func (o *Oracle) discover(v, from graph.Vertex) {
-	if _, ok := o.views[v]; ok {
+	if o.views[v] != nil {
 		return
 	}
 	deg := o.g.Degree(v)
-	o.views[v] = &View{
+	view := o.newView()
+	*view = View{
 		ID:         v,
 		Degree:     deg,
-		Resolved:   make([]graph.Vertex, deg),
+		Resolved:   o.allocVertices(deg),
 		Unresolved: deg,
 	}
+	o.views[v] = view
 	o.order = append(o.order, v)
 	if from != graph.NoVertex {
 		o.parent[v] = from
@@ -270,10 +359,10 @@ func (o *Oracle) RequestEdge(u graph.Vertex, slot int) (v graph.Vertex, newInfo 
 	if o.knowledge != Weak {
 		return graph.NoVertex, false, fmt.Errorf("search: RequestEdge in %v model", o.knowledge)
 	}
-	view, ok := o.views[u]
-	if !ok {
+	if u < 1 || int(u) >= len(o.views) || o.views[u] == nil {
 		return graph.NoVertex, false, fmt.Errorf("search: RequestEdge on undiscovered vertex %d", u)
 	}
+	view := o.views[u]
 	if slot < 0 || slot >= view.Degree {
 		return graph.NoVertex, false, fmt.Errorf("search: RequestEdge slot %d out of [0, %d) for vertex %d", slot, view.Degree, u)
 	}
@@ -304,8 +393,8 @@ func (o *Oracle) resolveSlot(view *View, slot int, w graph.Vertex) {
 // resolveReverse resolves, in v's view, every slot carrying the given
 // edge (both halves for a self-loop).
 func (o *Oracle) resolveReverse(v graph.Vertex, e graph.EdgeID, far graph.Vertex) {
-	view, ok := o.views[v]
-	if !ok {
+	view := o.views[v]
+	if view == nil {
 		return
 	}
 	for phys, h := range o.g.Incident(v) {
@@ -331,7 +420,9 @@ func (o *Oracle) Visible() []graph.Vertex {
 
 // IsVisible reports whether v is currently in the strong-model
 // frontier.
-func (o *Oracle) IsVisible(v graph.Vertex) bool { return o.visible[v] }
+func (o *Oracle) IsVisible(v graph.Vertex) bool {
+	return v >= 1 && int(v) < len(o.visible) && o.visible[v]
+}
 
 // RequestVertex performs a strong-model request on a visible vertex u:
 // the answer is u's neighbor multiset with degrees. u moves from
@@ -341,16 +432,18 @@ func (o *Oracle) RequestVertex(u graph.Vertex) (neighbors []graph.Vertex, newInf
 	if o.knowledge != Strong {
 		return nil, false, fmt.Errorf("search: RequestVertex in %v model", o.knowledge)
 	}
-	if view, ok := o.views[u]; ok && view.Resolved != nil {
-		return view.Resolved, false, nil // already discovered: free re-read
+	if u >= 1 && int(u) < len(o.views) {
+		if view := o.views[u]; view != nil && view.Resolved != nil {
+			return view.Resolved, false, nil // already discovered: free re-read
+		}
 	}
-	if !o.visible[u] {
+	if !o.IsVisible(u) {
 		return nil, false, fmt.Errorf("search: RequestVertex on vertex %d not adjacent to a discovered vertex", u)
 	}
 	o.requests++
-	delete(o.visible, u)
+	o.visible[u] = false
 	view := o.views[u]
-	view.Resolved = make([]graph.Vertex, view.Degree)
+	view.Resolved = o.allocVertices(view.Degree)
 	view.Unresolved = 0
 	o.order = append(o.order, u)
 	if u == o.target {
@@ -359,8 +452,10 @@ func (o *Oracle) RequestVertex(u graph.Vertex) (neighbors []graph.Vertex, newInf
 	for phys, h := range o.g.Incident(u) {
 		w := h.Other
 		view.Resolved[o.visSlot(u, phys)] = w
-		if _, known := o.views[w]; !known {
-			o.views[w] = &View{ID: w, Degree: o.g.Degree(w)}
+		if o.views[w] == nil {
+			nv := o.newView()
+			*nv = View{ID: w, Degree: o.g.Degree(w)}
+			o.views[w] = nv
 			o.visible[w] = true
 			o.visibleOrder = append(o.visibleOrder, w)
 			o.parent[w] = u
@@ -384,8 +479,8 @@ func (o *Oracle) FoundPath() ([]graph.Vertex, error) {
 	seen := map[graph.Vertex]bool{o.target: true}
 	cur := o.target
 	for cur != o.start {
-		p, ok := o.parent[cur]
-		if !ok {
+		p := o.parent[cur]
+		if p == graph.NoVertex {
 			return nil, fmt.Errorf("search: discovery tree broken at vertex %d", cur)
 		}
 		if seen[p] {

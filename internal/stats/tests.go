@@ -44,6 +44,51 @@ func ChiSquareGoodnessOfFit(observed []int, expected []float64, fittedParams int
 	}, nil
 }
 
+// ChiSquareTwoSample tests whether two histograms of counts over the
+// same cells are draws from one distribution (Numerical Recipes
+// construction: the statistic scales each sample by the square root of
+// the totals ratio, so unequal totals are handled exactly). Cells
+// where both counts are zero are skipped; at least two informative
+// cells are required. Degrees of freedom are the informative cell
+// count minus one when the totals are equal, the cell count otherwise.
+func ChiSquareTwoSample(a, b []int) (ChiSquareResult, error) {
+	if len(a) != len(b) {
+		return ChiSquareResult{}, fmt.Errorf("stats: two-sample chi-square length mismatch %d != %d", len(a), len(b))
+	}
+	var totalA, totalB float64
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: two-sample chi-square cell %d has a negative count", i)
+		}
+		totalA += float64(a[i])
+		totalB += float64(b[i])
+	}
+	if totalA == 0 || totalB == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: two-sample chi-square with an empty sample")
+	}
+	kA := math.Sqrt(totalB / totalA)
+	kB := math.Sqrt(totalA / totalB)
+	stat := 0.0
+	cells := 0
+	for i := range a {
+		oa, ob := float64(a[i]), float64(b[i])
+		if oa == 0 && ob == 0 {
+			continue
+		}
+		cells++
+		d := kA*oa - kB*ob
+		stat += d * d / (oa + ob)
+	}
+	df := cells
+	if totalA == totalB {
+		df--
+	}
+	if df < 1 {
+		return ChiSquareResult{}, fmt.Errorf("stats: two-sample chi-square degrees of freedom %d < 1", df)
+	}
+	return ChiSquareResult{Statistic: stat, DF: df, PValue: chiSquareSF(stat, df)}, nil
+}
+
 // chiSquareSF is the chi-square survival function P(X >= x) with df
 // degrees of freedom, computed via the regularized upper incomplete
 // gamma function Q(df/2, x/2).

@@ -162,3 +162,60 @@ func TestBootstrapErrors(t *testing.T) {
 		t.Error("bad level accepted")
 	}
 }
+
+func TestChiSquareTwoSampleSameDistribution(t *testing.T) {
+	// Two multinomial draws from one distribution: the test must not
+	// reject at any sane level.
+	a := []int{480, 260, 130, 70, 40, 20}
+	b := []int{505, 245, 120, 75, 35, 20}
+	res, err := ChiSquareTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.05 {
+		t.Errorf("same-distribution histograms rejected: p=%v (stat=%v, df=%d)", res.PValue, res.Statistic, res.DF)
+	}
+	if res.DF != len(a)-1 {
+		t.Errorf("df=%d, want %d for equal totals", res.DF, len(a)-1)
+	}
+}
+
+func TestChiSquareTwoSampleDetectsShift(t *testing.T) {
+	a := []int{500, 250, 125, 62, 31, 32}
+	b := []int{250, 250, 250, 125, 62, 63}
+	res, err := ChiSquareTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("clearly different histograms not rejected: p=%v", res.PValue)
+	}
+}
+
+func TestChiSquareTwoSampleSkipsEmptyCellsAndUnequalTotals(t *testing.T) {
+	a := []int{100, 0, 50, 0}
+	b := []int{210, 0, 90, 0}
+	res, err := ChiSquareTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two informative cells, unequal totals: df stays at the cell count.
+	if res.DF != 2 {
+		t.Errorf("df=%d, want 2", res.DF)
+	}
+}
+
+func TestChiSquareTwoSampleErrors(t *testing.T) {
+	if _, err := ChiSquareTwoSample([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ChiSquareTwoSample([]int{1, -1}, []int{1, 1}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := ChiSquareTwoSample([]int{0, 0}, []int{1, 1}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := ChiSquareTwoSample([]int{5, 0}, []int{5, 0}); err == nil {
+		t.Error("single informative cell accepted")
+	}
+}

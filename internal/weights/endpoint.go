@@ -8,16 +8,34 @@ import "scalefree/internal/rng"
 // a draw proportional to hit counts. It is O(1) per draw but, unlike
 // Fenwick, supports only integer hit-count weights.
 //
-// It exists as the ablation baseline for the Fenwick sampler (see the
-// package comment) and as the natural sampler for the Barabási–Albert
-// model, whose weights are exactly total degrees.
+// It is the production sampler for every preferential draw in the
+// repository: the Barabási–Albert model (weights are exactly total
+// degrees) and — because the Móri and Cooper–Frieze generators flip
+// their uniform-vs-preferential mixture coin exactly *before* drawing —
+// the indegree-proportional draws of both evolving models, making graph
+// generation O(n). The Fenwick tree remains as the O(log n) reference
+// implementation (see the package comment and
+// BenchmarkAblationFenwickVsEndpointArray).
 type EndpointArray struct {
 	hits []int32
 }
 
 // NewEndpointArray returns an empty sampler with a capacity hint.
 func NewEndpointArray(capHint int) *EndpointArray {
-	return &EndpointArray{hits: make([]int32, 0, capHint)}
+	e := &EndpointArray{}
+	e.Reset(capHint)
+	return e
+}
+
+// Reset empties the sampler for reuse, keeping the backing array (and
+// growing it when the hint asks for more), so repeated same-size
+// generation allocates nothing.
+func (e *EndpointArray) Reset(capHint int) {
+	if cap(e.hits) < capHint {
+		e.hits = make([]int32, 0, capHint)
+		return
+	}
+	e.hits = e.hits[:0]
 }
 
 // Record appends one hit for item (so its weight increases by one).

@@ -1,19 +1,28 @@
 // Package weights provides weighted random sampling structures used by
 // the preferential-attachment graph generators:
 //
+//   - EndpointArray: the append-only endpoint-array trick, O(1) per
+//     record and per draw for exact hit-count weights — the production
+//     sampler behind every generator hot loop;
 //   - Fenwick: a binary indexed tree over integer weights with O(log n)
-//     increment and O(log n) proportional sampling, the workhorse for
-//     sampling "choose a vertex with probability proportional to its
-//     indegree" while the graph is still growing;
+//     increment and O(log n) proportional sampling — the reference
+//     implementation the production path is validated against;
 //   - Alias: Walker's alias method for O(1) sampling from a fixed
 //     discrete distribution, used when the weights are static.
 //
-// A design note (ablation E-weights in bench_test.go): preferential
-// attachment is often implemented by picking a uniform entry of an
-// append-only endpoint array. That trick is O(1) per draw but only
-// supports weights that are exact hit counts; the Fenwick tree supports
-// the mixed uniform/preferential weights of the Móri and Cooper–Frieze
-// models with no approximation. Both are implemented and benchmarked.
+// A design note (ablation in bench_test.go, DESIGN.md §5.2): the
+// endpoint array supports only weights that are exact hit counts,
+// while the Fenwick tree supports arbitrary integer weights. The Móri
+// and Cooper–Frieze mixtures p·d(u) + (1−p) look like they need the
+// general tree, but both generators flip the exact coin between the
+// aggregate preferential mass and the aggregate uniform mass *before*
+// drawing a vertex — after the flip the preferential draw is pure
+// hit-count, so the O(1) array serves the hot loops exactly
+// (GenerateTreeFenwick / Config.GenerateFenwick keep the O(log n)
+// reference paths alive for the ablation benchmark and the chi-square
+// equivalence tests). Switching samplers changes how many random draws
+// each step consumes, so the swap was a one-time seed→output break;
+// determinism across worker counts is unaffected.
 package weights
 
 import (
