@@ -8,6 +8,7 @@ package scalefree_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"scalefree/internal/cooperfrieze"
@@ -15,6 +16,7 @@ import (
 	"scalefree/internal/experiment"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
+	"scalefree/internal/sweep"
 	"scalefree/internal/weights"
 )
 
@@ -235,5 +237,76 @@ func BenchmarkAblationMergeFactor(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkShardMerge measures the distribution layer's reassembly
+// path (DESIGN.md §6): reading k shard files, decoding every trial
+// result, validating coverage, and running the single Reduce. Setup
+// (executing the shards) is outside the timer, so per-op time is the
+// pure merge cost a coordinator pays after gathering files from k
+// machines.
+func BenchmarkShardMerge(b *testing.B) {
+	exp, ok := experiment.ByID("E4")
+	if !ok {
+		b.Fatal("unknown experiment E4")
+	}
+	cfg := experiment.Config{Seed: 2024, Scale: benchScale}
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			dir := b.TempDir()
+			var paths []string
+			for i := 0; i < k; i++ {
+				spec := sweep.ShardSpec{Index: i, Count: k}
+				path := filepath.Join(dir, exp.ShardFileName(spec))
+				if _, err := exp.RunShard(context.Background(), cfg, spec, engine.Options{}, nil, path, false); err != nil {
+					b.Fatal(err)
+				}
+				paths = append(paths, path)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tables, err := exp.MergeShardFiles(cfg, paths)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables) == 0 {
+					b.Fatal("no tables")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCacheHit measures a fully warm sweep: every trial satisfied
+// from the content-addressed cache, so per-op time is plan
+// construction + cache lookups + decode + Reduce — the cost of
+// re-rendering an unchanged experiment's tables without recomputing
+// anything. Compare against BenchmarkE5MaxDegree (the uncached run of
+// the same plan).
+func BenchmarkCacheHit(b *testing.B) {
+	exp, ok := experiment.ByID("E5")
+	if !ok {
+		b.Fatal("unknown experiment E5")
+	}
+	cfg := experiment.Config{Seed: 2024, Scale: benchScale}
+	cache, err := sweep.OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := exp.RunCached(context.Background(), cfg, engine.Options{}, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, stats, err := exp.RunCached(context.Background(), cfg, engine.Options{}, cache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 || stats.Executed != 0 {
+			b.Fatalf("cache miss during warm run: %+v", stats)
+		}
 	}
 }

@@ -4,14 +4,28 @@
 // Usage:
 //
 //	experiments [-run E1,E4] [-scale 1.0] [-seed 2024] [-workers 0]
-//	            [-progress] [-csv dir]
+//	            [-progress] [-csv dir] [-cache dir]
+//	            [-shard i/k -out dir [-resume]] [-merge dir]
 //
 // -scale shrinks workload sizes and replication counts proportionally
 // (0.1 gives a quick smoke run); -workers bounds the trial worker pool
 // (0 uses every core; output is bit-identical for every worker count
-// under the same seed); -progress streams per-trial completions to
-// stderr; -csv additionally writes every table as a CSV file into the
-// given directory. Ctrl-C cancels the run between trials.
+// under the same seed); -progress streams per-trial completions plus
+// an aggregate rate/ETA to stderr; -csv additionally writes every
+// table as a CSV file into the given directory. Ctrl-C cancels the run
+// between trials.
+//
+// Distribution (DESIGN.md §6): -cache dir keeps a content-addressed
+// per-trial result cache, so interrupted sweeps resume where they
+// stopped and unchanged experiments re-reduce without recomputing.
+// -shard i/k (1-based, with -out dir) executes only the i-th of k
+// disjoint slices of each selected experiment's trials and writes a
+// shard file instead of tables — run the k shards on any machines,
+// gather the files into one directory, and -merge dir reassembles them
+// and prints tables byte-identical to a single-process run of the same
+// seed and scale. -resume lets a -shard run reuse a matching existing
+// shard file. Tables go to stdout; all status goes to stderr, so
+// single-process and merged outputs diff cleanly.
 package main
 
 import (
@@ -21,12 +35,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
 
 	"scalefree/internal/engine"
 	"scalefree/internal/experiment"
+	"scalefree/internal/sweep"
 )
 
 func main() {
@@ -42,8 +58,13 @@ func run() error {
 		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full EXPERIMENTS.md workload)")
 		seed     = flag.Uint64("seed", 2024, "master seed")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "stream per-trial completions to stderr")
+		progress = flag.Bool("progress", false, "stream per-trial completions and aggregate rate/ETA to stderr")
 		csvDir   = flag.String("csv", "", "directory to also write per-table CSV files (optional)")
+		cacheDir = flag.String("cache", "", "content-addressed per-trial result cache directory (optional)")
+		shardStr = flag.String("shard", "", "execute one shard i/k (1-based, e.g. 2/5) and write a shard file instead of tables; requires -out")
+		outDir   = flag.String("out", "", "directory for shard files written by -shard")
+		mergeDir = flag.String("merge", "", "merge shard files from this directory and print tables (instead of executing trials)")
+		resume   = flag.Bool("resume", false, "with -shard: reuse a matching existing shard file's results")
 	)
 	flag.Parse()
 
@@ -63,50 +84,168 @@ func run() error {
 			selected = append(selected, e)
 		}
 	}
+	// Reject meaningless flag combinations up front — a silently
+	// ignored flag reads as accepted and misleads the operator.
+	workersSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			workersSet = true
+		}
+	})
+	switch {
+	case *mergeDir != "" && *shardStr != "":
+		return fmt.Errorf("-merge and -shard are mutually exclusive: merging reads shard files, sharding writes them")
+	case *mergeDir != "" && *cacheDir != "":
+		return fmt.Errorf("-cache applies to runs that execute trials; -merge only reads shard files")
+	case *mergeDir != "" && *resume:
+		return fmt.Errorf("-resume applies to -shard runs; -merge re-reads shard files every time")
+	case *mergeDir != "" && (workersSet || *progress):
+		return fmt.Errorf("-workers and -progress apply to runs that execute trials; -merge only reads shard files")
+	case *shardStr != "" && *outDir == "":
+		return fmt.Errorf("-shard requires -out: shard runs write result files, not tables")
+	case *shardStr != "" && *csvDir != "":
+		return fmt.Errorf("-csv applies to runs that print tables; shard runs write result files (use -csv with -merge)")
+	case *shardStr == "" && *outDir != "":
+		return fmt.Errorf("-out is the shard file directory; it requires -shard i/k")
+	case *shardStr == "" && *resume:
+		return fmt.Errorf("-resume applies to -shard runs; plain runs resume via -cache")
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return fmt.Errorf("creating CSV directory: %w", err)
 		}
 	}
 
-	cfg := experiment.Config{Seed: *seed, Scale: *scale}
-	for _, e := range selected {
-		fmt.Printf("=== %s: %s (scale %.2f, seed %d, workers %d)\n",
-			e.ID, e.Title, *scale, *seed, *workers)
-		opts := engine.Options{Workers: *workers}
-		if *progress {
-			opts.Progress = func(p engine.Progress) {
-				status := "ok"
-				if p.Err != nil {
-					status = "FAIL: " + p.Err.Error()
-				}
-				fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%v) %s\n",
-					p.Done, p.Total, p.Trial.Key, p.Elapsed.Round(time.Millisecond), status)
-			}
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+			return err
 		}
-		start := time.Now()
-		tables, err := e.RunContext(ctx, cfg, opts)
+	}
+
+	cfg := experiment.Config{Seed: *seed, Scale: *scale}
+	switch {
+	case *mergeDir != "":
+		return mergeShards(selected, cfg, *mergeDir, *csvDir)
+	case *shardStr != "":
+		spec, err := sweep.ParseShardSpec(*shardStr)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("    completed in %v\n\n", time.Since(start).Round(time.Millisecond))
-		for ti, tab := range tables {
-			if err := tab.Render(os.Stdout); err != nil {
-				return err
+		return runShards(ctx, selected, cfg, spec, *workers, *progress, cache, *outDir, *resume)
+	default:
+		return runAll(ctx, selected, cfg, *workers, *progress, cache, *csvDir)
+	}
+}
+
+// progressHook builds the -progress stderr stream: per-trial lines
+// with the aggregate sliding-window rate and ETA appended.
+func progressHook(tracker *engine.RateTracker) func(engine.Progress) {
+	return func(p engine.Progress) {
+		tracker.Observe(p)
+		status := "ok"
+		if p.Err != nil {
+			status = "FAIL: " + p.Err.Error()
+		}
+		fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%v) %s | %s\n",
+			p.Done, p.Total, p.Trial.Key, p.Elapsed.Round(time.Millisecond), status,
+			tracker.Snapshot())
+	}
+}
+
+// runAll is the classic mode: execute every selected experiment in
+// this process (optionally through the result cache) and print tables.
+func runAll(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, workers int, progress bool, cache *sweep.Cache, csvDir string) error {
+	for _, e := range selected {
+		fmt.Fprintf(os.Stderr, "=== %s: %s (scale %.2f, seed %d, workers %d)\n",
+			e.ID, e.Title, cfg.Scale, cfg.Seed, workers)
+		opts := engine.Options{Workers: workers}
+		if progress {
+			opts.Progress = progressHook(engine.NewRateTracker(0))
+		}
+		start := time.Now()
+		tables, stats, err := e.RunCached(ctx, cfg, opts, cache)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "    completed in %v (%s)\n\n",
+			time.Since(start).Round(time.Millisecond), stats)
+		if err := emit(e, tables, csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runShards executes one shard of every selected experiment, writing
+// one shard file per experiment into outDir.
+func runShards(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, spec sweep.ShardSpec, workers int, progress bool, cache *sweep.Cache, outDir string, resume bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("creating shard output directory: %w", err)
+	}
+	for _, e := range selected {
+		path := filepath.Join(outDir, e.ShardFileName(spec))
+		fmt.Fprintf(os.Stderr, "=== %s shard %s: %s (scale %.2f, seed %d) -> %s\n",
+			e.ID, spec, e.Title, cfg.Scale, cfg.Seed, path)
+		opts := engine.Options{Workers: workers}
+		if progress {
+			opts.Progress = progressHook(engine.NewRateTracker(0))
+		}
+		start := time.Now()
+		stats, err := e.RunShard(ctx, cfg, spec, opts, cache, path, resume)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "    completed in %v (%s)\n",
+			time.Since(start).Round(time.Millisecond), stats)
+	}
+	return nil
+}
+
+// mergeShards reassembles shard files from dir for every selected
+// experiment and prints the reduced tables.
+func mergeShards(selected []experiment.Experiment, cfg experiment.Config, dir, csvDir string) error {
+	for _, e := range selected {
+		paths, err := filepath.Glob(filepath.Join(dir, e.ID+".shard-*of*"))
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("%s: no shard files named %s.shard-*of* in %s", e.ID, e.ID, dir)
+		}
+		sort.Strings(paths)
+		fmt.Fprintf(os.Stderr, "=== %s: merging %d shard files (scale %.2f, seed %d)\n",
+			e.ID, len(paths), cfg.Scale, cfg.Seed)
+		tables, err := e.MergeShardFiles(cfg, paths)
+		if err != nil {
+			return err
+		}
+		if err := emit(e, tables, csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit renders tables to stdout and, when csvDir is set, as CSV files.
+func emit(e experiment.Experiment, tables []experiment.Table, csvDir string) error {
+	for ti, tab := range tables {
+		if err := tab.Render(os.Stdout); err != nil {
+			return err
+		}
+		if csvDir != "" {
+			name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), ti)
+			f, err := os.Create(filepath.Join(csvDir, name))
+			if err != nil {
+				return fmt.Errorf("creating %s: %w", name, err)
 			}
-			if *csvDir != "" {
-				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(e.ID), ti)
-				f, err := os.Create(filepath.Join(*csvDir, name))
-				if err != nil {
-					return fmt.Errorf("creating %s: %w", name, err)
-				}
-				if err := tab.CSV(f); err != nil {
-					f.Close()
-					return fmt.Errorf("writing %s: %w", name, err)
-				}
-				if err := f.Close(); err != nil {
-					return fmt.Errorf("closing %s: %w", name, err)
-				}
+			if err := tab.CSV(f); err != nil {
+				f.Close()
+				return fmt.Errorf("writing %s: %w", name, err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("closing %s: %w", name, err)
 			}
 		}
 	}

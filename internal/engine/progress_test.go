@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"scalefree/internal/rng"
+)
+
+// fakeClock steps a RateTracker through scripted time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker(window time.Duration) (*RateTracker, *fakeClock) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	rt := NewRateTracker(window)
+	rt.now = clock.now
+	return rt, clock
+}
+
+func TestRateTrackerSteadyState(t *testing.T) {
+	rt, clock := newTestTracker(10 * time.Second)
+	// 100 trials total, one completion per 500ms => 2 trials/s.
+	for done := 1; done <= 40; done++ {
+		clock.advance(500 * time.Millisecond)
+		rt.Observe(Progress{Done: done, Total: 100})
+	}
+	snap := rt.Snapshot()
+	if snap.Done != 40 || snap.Total != 100 {
+		t.Fatalf("snapshot counts %d/%d", snap.Done, snap.Total)
+	}
+	if snap.Rate < 1.8 || snap.Rate > 2.2 {
+		t.Errorf("rate = %.2f trials/s, want ~2", snap.Rate)
+	}
+	wantETA := 30 * time.Second // 60 remaining at 2/s
+	if snap.ETA < wantETA-3*time.Second || snap.ETA > wantETA+3*time.Second {
+		t.Errorf("ETA = %v, want ~%v", snap.ETA, wantETA)
+	}
+}
+
+func TestRateTrackerWindowTracksSlowdown(t *testing.T) {
+	rt, clock := newTestTracker(10 * time.Second)
+	// Fast phase: 20 completions at 10/s.
+	for done := 1; done <= 20; done++ {
+		clock.advance(100 * time.Millisecond)
+		rt.Observe(Progress{Done: done, Total: 40})
+	}
+	// Slow phase: 5 completions at 0.2/s. The fast phase has aged out
+	// of the window, so the rate must reflect the slow regime, not the
+	// whole-run average (~0.9/s).
+	for done := 21; done <= 25; done++ {
+		clock.advance(5 * time.Second)
+		rt.Observe(Progress{Done: done, Total: 40})
+	}
+	snap := rt.Snapshot()
+	if snap.Rate > 0.5 {
+		t.Errorf("windowed rate = %.2f trials/s, still dominated by the fast phase", snap.Rate)
+	}
+}
+
+func TestRateTrackerEmptyAndDone(t *testing.T) {
+	rt, _ := newTestTracker(time.Second)
+	snap := rt.Snapshot()
+	if snap.Rate != 0 || snap.ETA != 0 {
+		t.Errorf("empty tracker: %+v", snap)
+	}
+	if snap.String() != "rate n/a" {
+		t.Errorf("empty String() = %q", snap.String())
+	}
+
+	rt, clock := newTestTracker(time.Second)
+	clock.advance(time.Second)
+	rt.Observe(Progress{Done: 1, Total: 1})
+	clock.advance(500 * time.Millisecond)
+	snap = rt.Snapshot()
+	if snap.ETA != 0 {
+		t.Errorf("finished run has ETA %v", snap.ETA)
+	}
+	if snap.Rate <= 0 {
+		t.Errorf("single completion gives no whole-run rate: %+v", snap)
+	}
+}
+
+// TestRateTrackerWithEngine wires the tracker into a real engine run
+// via the Progress hook — the composition cmd/experiments uses.
+func TestRateTrackerWithEngine(t *testing.T) {
+	trials := make([]Trial, 50)
+	for i := range trials {
+		trials[i] = Trial{Index: i, Key: "t", Seed: uint64(i)}
+	}
+	rt := NewRateTracker(0)
+	opts := Options{Workers: 4, Progress: func(p Progress) { rt.Observe(p) }}
+	_, err := Run(context.Background(), trials, opts,
+		func(_ context.Context, tr Trial, _ *rng.RNG) (int, error) { return tr.Index, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := rt.Snapshot()
+	if snap.Done != 50 || snap.Total != 50 {
+		t.Errorf("tracker saw %d/%d completions", snap.Done, snap.Total)
+	}
+}

@@ -1,0 +1,166 @@
+// Distribution entry points: running an experiment as one shard of a
+// multi-process sweep, persisting per-trial results, and merging shard
+// files back into tables. The guarantee inherited from the engine and
+// extended here: for a fixed Config, any (shard count, worker count,
+// cache state, interruption history) produces byte-identical rendered
+// tables, because every strategy assembles the same positional result
+// slice before the single Reduce.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"scalefree/internal/core"
+	"scalefree/internal/engine"
+	"scalefree/internal/sweep"
+)
+
+// planJob plans the experiment and derives the sweep job identity
+// (experiment ID + plan fingerprint) that addresses its artifacts.
+func (e Experiment) planJob(cfg Config) (*Plan, sweep.Job, error) {
+	plan, err := e.Plan(cfg)
+	if err != nil {
+		return nil, sweep.Job{}, fmt.Errorf("%s: planning: %w", e.ID, err)
+	}
+	return plan, sweep.Job{ExpID: e.ID, Fingerprint: sweep.Fingerprint(e.ID, cfg.canonical(), plan.Trials)}, nil
+}
+
+// Fingerprint returns the plan fingerprint at cfg — the identity under
+// which shard files and cached trial results are addressed.
+func (e Experiment) Fingerprint(cfg Config) (string, error) {
+	_, job, err := e.planJob(cfg)
+	if err != nil {
+		return "", err
+	}
+	return job.Fingerprint, nil
+}
+
+// RunCached is RunContext with an optional content-addressed result
+// cache: cached trials are spliced in without executing, fresh trials
+// persist as soon as they finish, and the returned stats say how much
+// work the cache saved. A nil cache degrades to a plain run.
+func (e Experiment) RunCached(ctx context.Context, cfg Config, opts engine.Options, cache *sweep.Cache) ([]Table, sweep.Stats, error) {
+	plan, job, err := e.planJob(cfg)
+	if err != nil {
+		return nil, sweep.Stats{}, err
+	}
+	byIdx, stats, err := sweep.Execute(ctx, job, plan.Trials, opts, cache, core.NewScratch, plan.Run)
+	if err != nil {
+		return nil, stats, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	results := make([]any, len(plan.Trials))
+	for i := range results {
+		results[i] = byIdx[i]
+	}
+	tables, err := plan.Reduce(results)
+	if err != nil {
+		return nil, stats, fmt.Errorf("%s: reducing: %w", e.ID, err)
+	}
+	return tables, stats, nil
+}
+
+// ShardFileName is the canonical file name for one shard of this
+// experiment, e.g. "E4.shard-2of5" — what RunShard writes and what
+// merge runs glob for.
+func (e Experiment) ShardFileName(spec sweep.ShardSpec) string {
+	return fmt.Sprintf("%s.shard-%dof%d", e.ID, spec.Index+1, spec.Count)
+}
+
+// RunShard executes one shard of the plan at cfg and writes the
+// shard's positional results to outPath. With resume set, entries of
+// an existing shard file at outPath (validated against the plan
+// fingerprint and shard spec) are reused instead of re-executed and
+// counted as cache hits; the optional per-trial cache fills remaining
+// gaps. The written file always holds the shard's complete result set.
+func (e Experiment) RunShard(ctx context.Context, cfg Config, spec sweep.ShardSpec, opts engine.Options, cache *sweep.Cache, outPath string, resume bool) (sweep.Stats, error) {
+	plan, job, err := e.planJob(cfg)
+	if err != nil {
+		return sweep.Stats{}, err
+	}
+	own := spec.Filter(plan.Trials)
+	header := sweep.ShardHeader{
+		ExpID:       e.ID,
+		Fingerprint: job.Fingerprint,
+		ShardIndex:  spec.Index,
+		ShardCount:  spec.Count,
+		TotalTrials: len(plan.Trials),
+	}
+
+	have := map[int]any{}
+	var stats sweep.Stats
+	reused := false
+	if resume {
+		if _, err := os.Stat(outPath); err == nil {
+			prev, entries, err := sweep.ReadShardFile(outPath)
+			if err != nil {
+				return stats, fmt.Errorf("%s: resuming from %s: %w (remove the file or rerun without -resume)", e.ID, outPath, err)
+			}
+			if prev != header {
+				return stats, fmt.Errorf("%s: shard file %s was written for a different run (%s shard %d/%d, %d trials, fp %.12s; want shard %d/%d, %d trials, fp %.12s) — remove it or rerun without -resume",
+					e.ID, outPath, prev.ExpID, prev.ShardIndex+1, prev.ShardCount, prev.TotalTrials, prev.Fingerprint,
+					header.ShardIndex+1, header.ShardCount, header.TotalTrials, header.Fingerprint)
+			}
+			have = entries
+			stats.CacheHits += len(entries)
+			reused = true
+		}
+	}
+
+	missing := make([]engine.Trial, 0, len(own))
+	for _, t := range own {
+		if _, ok := have[t.Index]; !ok {
+			missing = append(missing, t)
+		}
+	}
+	ran, execStats, err := sweep.Execute(ctx, job, missing, opts, cache, core.NewScratch, plan.Run)
+	stats.Executed += execStats.Executed
+	stats.CacheHits += execStats.CacheHits
+	if err != nil {
+		return stats, fmt.Errorf("%s shard %s: %w", e.ID, spec, err)
+	}
+	for idx, v := range ran {
+		have[idx] = v
+	}
+	// A resume that found the file already complete has nothing to add;
+	// skip the no-op rewrite so repeated resumes leave the file alone.
+	if reused && len(missing) == 0 {
+		return stats, nil
+	}
+	if err := sweep.WriteShardFile(outPath, header, have); err != nil {
+		return stats, fmt.Errorf("%s shard %s: %w", e.ID, spec, err)
+	}
+	return stats, nil
+}
+
+// MergeShardFiles reassembles the full positional result slice of the
+// plan at cfg from shard files and runs Reduce once. The files must
+// carry this experiment's fingerprint at exactly this Config —
+// sharded runs under a different seed or scale are rejected, never
+// silently merged — and must jointly cover every trial.
+func (e Experiment) MergeShardFiles(cfg Config, paths []string) ([]Table, error) {
+	plan, job, err := e.planJob(cfg)
+	if err != nil {
+		return nil, err
+	}
+	header, results, err := sweep.Merge(paths)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if header.ExpID != e.ID {
+		return nil, fmt.Errorf("%s: shard files belong to %s", e.ID, header.ExpID)
+	}
+	if header.Fingerprint != job.Fingerprint {
+		return nil, fmt.Errorf("%s: shard files carry plan fingerprint %.12s, this Config plans %.12s — they were produced under a different seed, scale, or codec version",
+			e.ID, header.Fingerprint, job.Fingerprint)
+	}
+	if header.TotalTrials != len(plan.Trials) {
+		return nil, fmt.Errorf("%s: shard files hold %d trials, plan has %d", e.ID, header.TotalTrials, len(plan.Trials))
+	}
+	tables, err := plan.Reduce(results)
+	if err != nil {
+		return nil, fmt.Errorf("%s: reducing: %w", e.ID, err)
+	}
+	return tables, nil
+}

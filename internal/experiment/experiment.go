@@ -82,6 +82,20 @@ func (c Config) seed(stream uint64) uint64 {
 	return rng.DeriveSeed(c.Seed, stream)
 }
 
+// canonical renders the Config for plan fingerprinting. Trial keys and
+// seeds alone do not pin the workload — plans capture Config-derived
+// tunables (Monte-Carlo replication counts, query budgets) inside
+// their closures — so the full canonical Config participates in every
+// fingerprint, and artifacts from different seeds or scales can never
+// be confused.
+func (c Config) canonical() string {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return fmt.Sprintf("seed=%d/scale=%g", c.Seed, s)
+}
+
 // Plan is the trial decomposition of one experiment at one Config:
 // what to run (Trials + Run) and how to assemble the output (Reduce).
 type Plan struct {
@@ -155,21 +169,12 @@ func (e Experiment) Run(cfg Config) ([]Table, error) {
 
 // RunContext plans the experiment, executes its trials on the engine
 // with the given options (one reusable core.Scratch per worker), and
-// reduces the results into tables.
+// reduces the results into tables. It is RunCached without a cache;
+// see dispatch.go for the sharded and cached execution paths that
+// produce byte-identical tables.
 func (e Experiment) RunContext(ctx context.Context, cfg Config, opts engine.Options) ([]Table, error) {
-	plan, err := e.Plan(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s: planning: %w", e.ID, err)
-	}
-	results, err := engine.RunScratch(ctx, plan.Trials, opts, core.NewScratch, plan.Run)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", e.ID, err)
-	}
-	tables, err := plan.Reduce(results)
-	if err != nil {
-		return nil, fmt.Errorf("%s: reducing: %w", e.ID, err)
-	}
-	return tables, nil
+	tables, _, err := e.RunCached(ctx, cfg, opts, nil)
+	return tables, err
 }
 
 // Registry returns all experiments in ID order.

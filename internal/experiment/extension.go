@@ -23,10 +23,6 @@ func PlanE11(cfg Config) (*Plan, error) {
 	reps := cfg.scaleInt(24, 6)
 	b := newPlanBuilder()
 
-	type probResult struct {
-		a, b  int
-		exact float64
-	}
 	probNs := []int{1 << 8, 1 << 10, 1 << 12}
 	probIdx := make([]int, len(probNs))
 	for i, n := range probNs {
@@ -40,7 +36,7 @@ func PlanE11(cfg Config) (*Plan, error) {
 				if err != nil {
 					return nil, err
 				}
-				return probResult{a: a, b: bw, exact: exact}, nil
+				return WindowProbResult{A: a, B: bw, Exact: exact}, nil
 			})
 	}
 
@@ -75,11 +71,11 @@ func PlanE11(cfg Config) (*Plan, error) {
 		}
 		floor := equivalence.Lemma3Bound(0)
 		for i, n := range probNs {
-			pr, ok := results[probIdx[i]].(probResult)
+			pr, ok := results[probIdx[i]].(WindowProbResult)
 			if !ok {
 				return nil, fmt.Errorf("E11a n=%d: result type %T", n, results[probIdx[i]])
 			}
-			probs.AddRow(n, pr.a, pr.b, pr.exact, floor, fmt.Sprintf("%v", pr.exact >= floor-1e-12))
+			probs.AddRow(n, pr.A, pr.B, pr.Exact, floor, fmt.Sprintf("%v", pr.Exact >= floor-1e-12))
 		}
 
 		table := &Table{

@@ -230,9 +230,6 @@ func PlanE10(cfg Config) (*Plan, error) {
 	}
 	b := newPlanBuilder()
 
-	type cellResult struct {
-		hits, msgs, reached int
-	}
 	type cell struct {
 		walk int
 		q    float64
@@ -267,7 +264,7 @@ func PlanE10(cfg Config) (*Plan, error) {
 						msgs += res.Messages
 						reached += res.Reached
 					}
-					return cellResult{hits: hits, msgs: msgs, reached: reached}, nil
+					return PercolationCellResult{Hits: hits, Msgs: msgs, Reached: reached}, nil
 				})
 			cells = append(cells, cell{walk: walk, q: q, idx: idx})
 		}
@@ -284,15 +281,15 @@ func PlanE10(cfg Config) (*Plan, error) {
 			},
 		}
 		for _, c := range cells {
-			cr, ok := results[c.idx].(cellResult)
+			cr, ok := results[c.idx].(PercolationCellResult)
 			if !ok {
 				return nil, fmt.Errorf("E10 walk=%d q=%v: result type %T", c.walk, c.q, results[c.idx])
 			}
 			table.AddRow(c.walk, c.q,
-				float64(cr.hits)/float64(queries),
-				float64(cr.msgs)/float64(queries),
-				float64(cr.msgs)/float64(queries)/float64(g.NumEdges()),
-				float64(cr.reached)/float64(queries))
+				float64(cr.Hits)/float64(queries),
+				float64(cr.Msgs)/float64(queries),
+				float64(cr.Msgs)/float64(queries)/float64(g.NumEdges()),
+				float64(cr.Reached)/float64(queries))
 		}
 		return []Table{*table}, nil
 	}), nil

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"scalefree/internal/core"
+	"scalefree/internal/sweep"
+)
+
+// The concrete result types experiment trials produce. They are the
+// wire contract of the distribution layer: every value a Plan.Run can
+// return is one of these (or float64 / core.SearchOutcome /
+// core.Measurement), registered below with the sweep codec so shard
+// files and the result cache round-trip them exactly. Fields are
+// exported for the codec; wire names are stable — renaming one orphans
+// cached results and must come with a CodecVersion bump.
+
+// EquivProbResult is one E4a cell: exact vs Monte-Carlo equivalence
+// event probability on the canonical window, with the Lemma-3 floor.
+type EquivProbResult struct {
+	A, B  int
+	Exact float64
+	Est   float64
+	SE    float64
+	Floor float64
+}
+
+// Lemma2Result is one E4b cell: an exhaustive Lemma-2 verification
+// over a small tree size.
+type Lemma2Result struct {
+	Checked int
+	Result  string
+}
+
+// WindowProbResult is one E11a cell: the exact equivalence event
+// probability at p = 0.
+type WindowProbResult struct {
+	A, B  int
+	Exact float64
+}
+
+// PercolationCellResult is one E10 cell: percolation-search query
+// statistics summed over the cell's queries.
+type PercolationCellResult struct {
+	Hits    int
+	Msgs    int
+	Reached int
+}
+
+// PowerLawFitResult is one E6 cell: the MLE tail fit of a generated
+// graph's degree distribution.
+type PowerLawFitResult struct {
+	N          int
+	Alpha      float64
+	StdErr     float64
+	Xmin       int
+	SlopePlus1 float64
+	MaxDeg     int
+}
+
+// DistanceResult is one E7 cell: sampled mean BFS distance and the
+// double-sweep diameter lower bound.
+type DistanceResult struct {
+	MeanDist float64
+	Diam     int
+}
+
+func init() {
+	// Shared scalar and core types.
+	sweep.RegisterResult[float64]("float64")
+	sweep.RegisterResult[core.SearchOutcome]("core.SearchOutcome")
+	sweep.RegisterResult[core.Measurement]("core.Measurement")
+	// Experiment-specific cells.
+	sweep.RegisterResult[EquivProbResult]("experiment.EquivProbResult")
+	sweep.RegisterResult[Lemma2Result]("experiment.Lemma2Result")
+	sweep.RegisterResult[WindowProbResult]("experiment.WindowProbResult")
+	sweep.RegisterResult[PercolationCellResult]("experiment.PercolationCellResult")
+	sweep.RegisterResult[PowerLawFitResult]("experiment.PowerLawFitResult")
+	sweep.RegisterResult[DistanceResult]("experiment.DistanceResult")
+}

@@ -117,14 +117,6 @@ func PlanE6(cfg Config) (*Plan, error) {
 	n := cfg.scaleInt(1<<15, 2048)
 	b := newPlanBuilder()
 
-	type fitResult struct {
-		n      int
-		alpha  float64
-		stderr float64
-		xmin   int
-		slope1 float64
-		maxDeg int
-	}
 	fitGraph := func(g *graph.Graph) (any, error) {
 		degs := g.Degrees()[1:]
 		fit, err := stats.FitPowerLawAuto(degs, 50)
@@ -136,8 +128,8 @@ func PlanE6(cfg Config) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		return fitResult{n: g.NumVertices(), alpha: fit.Alpha, stderr: fit.StdErr,
-			xmin: fit.Xmin, slope1: slope + 1, maxDeg: g.MaxDegree()}, nil
+		return PowerLawFitResult{N: g.NumVertices(), Alpha: fit.Alpha, StdErr: fit.StdErr,
+			Xmin: fit.Xmin, SlopePlus1: slope + 1, MaxDeg: g.MaxDegree()}, nil
 	}
 
 	type cell struct {
@@ -200,7 +192,7 @@ func PlanE6(cfg Config) (*Plan, error) {
 			},
 		}
 		for _, c := range cells {
-			fr, ok := results[c.idx].(fitResult)
+			fr, ok := results[c.idx].(PowerLawFitResult)
 			if !ok {
 				return nil, fmt.Errorf("E6 %s: result type %T", c.name, results[c.idx])
 			}
@@ -208,7 +200,7 @@ func PlanE6(cfg Config) (*Plan, error) {
 			if c.expected > 0 {
 				expectedCell = formatFloat(c.expected)
 			}
-			table.AddRow(c.name, fr.n, expectedCell, fr.alpha, fr.stderr, fr.xmin, fr.slope1, fr.maxDeg)
+			table.AddRow(c.name, fr.N, expectedCell, fr.Alpha, fr.StdErr, fr.Xmin, fr.SlopePlus1, fr.MaxDeg)
 		}
 		return []Table{*table}, nil
 	}), nil
@@ -223,10 +215,6 @@ func PlanE7(cfg Config) (*Plan, error) {
 	srcSamples := cfg.scaleInt(12, 4)
 	b := newPlanBuilder()
 
-	type distResult struct {
-		meanDist float64
-		diam     int
-	}
 	gens := []struct {
 		name string
 		gen  func(n int, r *rng.RNG, s *core.Scratch) (*graph.Graph, error)
@@ -272,9 +260,9 @@ func PlanE7(cfg Config) (*Plan, error) {
 						dist = make([]int32, g.NumVertices()+1)
 						queue = make([]graph.Vertex, 0, g.NumVertices())
 					}
-					return distResult{
-						meanDist: graph.AverageDistanceSampledInto(g, sources, dist, queue),
-						diam:     graph.DoubleSweepLowerBoundInto(g, sources[0], dist, queue),
+					return DistanceResult{
+						MeanDist: graph.AverageDistanceSampledInto(g, sources, dist, queue),
+						Diam:     graph.DoubleSweepLowerBoundInto(g, sources[0], dist, queue),
 					}, nil
 				})
 			cells = append(cells, cell{name: gspec.name, n: n, idx: idx})
@@ -290,12 +278,12 @@ func PlanE7(cfg Config) (*Plan, error) {
 			},
 		}
 		for _, c := range cells {
-			dr, ok := results[c.idx].(distResult)
+			dr, ok := results[c.idx].(DistanceResult)
 			if !ok {
 				return nil, fmt.Errorf("E7 %s n=%d: result type %T", c.name, c.n, results[c.idx])
 			}
-			table.AddRow(c.name, c.n, dr.meanDist, dr.diam,
-				dr.meanDist/math.Log(float64(c.n)), math.Sqrt(float64(c.n)))
+			table.AddRow(c.name, c.n, dr.MeanDist, dr.Diam,
+				dr.MeanDist/math.Log(float64(c.n)), math.Sqrt(float64(c.n)))
 		}
 		return []Table{*table}, nil
 	}), nil

@@ -236,10 +236,6 @@ func PlanE4(cfg Config) (*Plan, error) {
 		n   int
 		idx int
 	}
-	type probResult struct {
-		a, b                  int
-		exact, est, se, floor float64
-	}
 	var probCells []probCell
 	stream := uint64(0)
 	for _, p := range []float64{0.25, 0.5, 0.75, 1.0} {
@@ -259,8 +255,8 @@ func PlanE4(cfg Config) (*Plan, error) {
 					if err != nil {
 						return nil, err
 					}
-					return probResult{a: a, b: bw, exact: exact, est: est, se: se,
-						floor: equivalence.Lemma3Bound(p)}, nil
+					return EquivProbResult{A: a, B: bw, Exact: exact, Est: est, SE: se,
+						Floor: equivalence.Lemma3Bound(p)}, nil
 				})
 			probCells = append(probCells, probCell{p: p, n: n, idx: idx})
 		}
@@ -270,10 +266,6 @@ func PlanE4(cfg Config) (*Plan, error) {
 		size, a, b int
 		p          float64
 		idx        int
-	}
-	type l2Result struct {
-		checked int
-		result  string
 	}
 	var l2Cells []l2Cell
 	for _, tc := range []struct {
@@ -293,7 +285,7 @@ func PlanE4(cfg Config) (*Plan, error) {
 				if err != nil {
 					result = err.Error()
 				}
-				return l2Result{checked: checked, result: result}, nil
+				return Lemma2Result{Checked: checked, Result: result}, nil
 			})
 		l2Cells = append(l2Cells, l2Cell{size: tc.size, a: tc.a, b: tc.b, p: tc.p, idx: idx})
 	}
@@ -305,23 +297,23 @@ func PlanE4(cfg Config) (*Plan, error) {
 			Notes:   []string{fmt.Sprintf("%d Monte-Carlo generations per estimate", mcReps)},
 		}
 		for _, c := range probCells {
-			pr, ok := results[c.idx].(probResult)
+			pr, ok := results[c.idx].(EquivProbResult)
 			if !ok {
 				return nil, fmt.Errorf("E4a p=%v n=%d: result type %T", c.p, c.n, results[c.idx])
 			}
-			probs.AddRow(c.p, pr.a, pr.b, pr.exact, pr.est, pr.se, pr.floor,
-				fmt.Sprintf("%v", pr.exact >= pr.floor-1e-12))
+			probs.AddRow(c.p, pr.A, pr.B, pr.Exact, pr.Est, pr.SE, pr.Floor,
+				fmt.Sprintf("%v", pr.Exact >= pr.Floor-1e-12))
 		}
 		lemma2 := &Table{
 			Title:   "E4b  Exhaustive Lemma-2 verification: P(T) = P(σT) conditional on E_{a,b}",
 			Columns: []string{"tree-size", "window", "p", "pairs-checked", "result"},
 		}
 		for _, c := range l2Cells {
-			lr, ok := results[c.idx].(l2Result)
+			lr, ok := results[c.idx].(Lemma2Result)
 			if !ok {
 				return nil, fmt.Errorf("E4b size=%d: result type %T", c.size, results[c.idx])
 			}
-			lemma2.AddRow(c.size, fmt.Sprintf("(%d,%d]", c.a, c.b), c.p, lr.checked, lr.result)
+			lemma2.AddRow(c.size, fmt.Sprintf("(%d,%d]", c.a, c.b), c.p, lr.Checked, lr.Result)
 		}
 		return []Table{*probs, *lemma2}, nil
 	}), nil

@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"scalefree/internal/engine"
+)
+
+// cacheMagic heads every cache entry file, followed by the uvarint
+// codec version and the EncodeResult payload.
+const cacheMagic = "SFCACHE1"
+
+// Cache is a content-addressed store of encoded trial results. Entries
+// live at <dir>/<key[:2]>/<key> (two-level fan-out keeps directories
+// small on full-scale sweeps); writes are atomic rename-into-place, so
+// a cache shared by concurrent shard processes on one filesystem is
+// safe — the worst race is both computing the same pure result and one
+// rename winning.
+//
+// The cache is an optimization layer with a strict correctness rule:
+// Get must only ever return a value that Put stored under the same
+// content address. Unreadable or corrupt entries are treated as
+// misses, never as errors — the trial simply re-executes and
+// overwrites the entry.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a result cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key)
+}
+
+// Get looks a trial result up by content address. ok reports a hit;
+// missing, truncated, version-skewed, or undecodable entries are
+// misses.
+func (c *Cache) Get(key string) (v any, ok bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := checkEntryHeader(data)
+	if err != nil {
+		return nil, false
+	}
+	v, err = DecodeResult(payload)
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+// Put stores an encoded trial result under key, atomically. Errors are
+// real (disk full, permissions): persistence was requested and did not
+// happen, so callers must surface them rather than silently running an
+// unresumable sweep.
+func (c *Cache) Put(key string, v any) error {
+	payload, err := EncodeResult(v)
+	if err != nil {
+		return err
+	}
+	data := append(entryHeader(), payload...)
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("sweep: cache put: %w", err)
+	}
+	return atomicWriteFile(dst, data)
+}
+
+// Len counts the entries currently in the cache (test and stats
+// support; it walks the directory).
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+func entryHeader() []byte {
+	return binary.AppendUvarint([]byte(cacheMagic), CodecVersion)
+}
+
+func checkEntryHeader(data []byte) (payload []byte, err error) {
+	if len(data) < len(cacheMagic) || string(data[:len(cacheMagic)]) != cacheMagic {
+		return nil, errors.New("sweep: not a cache entry")
+	}
+	d := &decoder{buf: data, pos: len(cacheMagic)}
+	ver := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ver != CodecVersion {
+		return nil, fmt.Errorf("sweep: cache entry codec version %d, want %d", ver, CodecVersion)
+	}
+	return data[d.pos:], nil
+}
+
+// lookupTrial consults an optional cache for one trial; a nil cache
+// always misses.
+func lookupTrial(c *Cache, expID, fingerprint string, t engine.Trial) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.Get(CacheKey(expID, fingerprint, t))
+}
+
+// storeTrial persists one trial result to an optional cache; a nil
+// cache stores nothing.
+func storeTrial(c *Cache, expID, fingerprint string, t engine.Trial, v any) error {
+	if c == nil {
+		return nil
+	}
+	return c.Put(CacheKey(expID, fingerprint, t), v)
+}
+
+// atomicWriteFile writes data to path via a sibling temp file and
+// rename, so readers never observe a partial file and concurrent
+// writers of identical content race harmlessly. The temp name is
+// dot-prefixed so a crashed writer's leftovers can never match the
+// "<expID>.shard-*" glob a merge run sweeps up.
+func atomicWriteFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("sweep: atomic write: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: atomic write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: atomic write: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sweep: atomic write: %w", err)
+	}
+	return nil
+}

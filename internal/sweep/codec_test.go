@@ -1,0 +1,181 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+type wireEnum int
+
+type wireInner struct {
+	N      int
+	Mean   float64
+	Labels []string
+}
+
+type wireOuter struct {
+	Name    string
+	Kind    wireEnum
+	OK      bool
+	Samples []float64
+	Inner   wireInner
+	Inners  []wireInner
+}
+
+func init() {
+	RegisterResult[wireOuter]("sweep_test.wireOuter")
+	RegisterResult[float64]("sweep_test.float64")
+}
+
+func testValue() wireOuter {
+	return wireOuter{
+		Name:    "degree-greedy/weak",
+		Kind:    wireEnum(2),
+		OK:      true,
+		Samples: []float64{1, 2.5, math.Inf(1), math.NaN(), math.Copysign(0, -1), 1e-308},
+		Inner:   wireInner{N: -3, Mean: math.Pi, Labels: []string{"a", "", "c,\"quoted\"\n"}},
+		Inners:  []wireInner{{N: 1}, {N: 2, Labels: nil}},
+	}
+}
+
+// equalExact compares with NaN == NaN and -0 distinguished from +0,
+// i.e. bit-level float equality — the codec's actual contract.
+func equalExact(a, b any) bool {
+	ba, err1 := EncodeResult(a)
+	bb, err2 := EncodeResult(b)
+	return err1 == nil && err2 == nil && bytes.Equal(ba, bb)
+}
+
+func TestCodecRoundTripExact(t *testing.T) {
+	orig := testValue()
+	enc, err := EncodeResult(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dec.(wireOuter)
+	if !ok {
+		t.Fatalf("decoded dynamic type %T, want wireOuter", dec)
+	}
+	if !equalExact(orig, got) {
+		t.Errorf("round trip not bit-exact:\norig %+v\ngot  %+v", orig, got)
+	}
+	// NaN round-trips as the same bit pattern.
+	if !math.IsNaN(got.Samples[3]) {
+		t.Errorf("NaN sample decoded as %v", got.Samples[3])
+	}
+	if math.Signbit(got.Samples[4]) != true {
+		t.Errorf("-0 lost its sign bit")
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	a, err := EncodeResult(testValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeResult(testValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("equal values encoded to different bytes")
+	}
+}
+
+func TestCodecFloat64(t *testing.T) {
+	enc, err := EncodeResult(math.Sqrt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != math.Sqrt(2) {
+		t.Errorf("float64 round trip: got %v", dec)
+	}
+}
+
+func TestCodecNilSliceCanonical(t *testing.T) {
+	// nil and empty slices encode identically and decode to nil, so a
+	// decoded result can never differ from a fresh zero-valued one.
+	a, _ := EncodeResult(wireOuter{Samples: nil})
+	b, _ := EncodeResult(wireOuter{Samples: []float64{}})
+	if !bytes.Equal(a, b) {
+		t.Error("nil and empty slice encode differently")
+	}
+	dec, err := DecodeResult(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.(wireOuter).Samples != nil {
+		t.Error("empty slice did not decode to nil")
+	}
+}
+
+func TestCodecUnregisteredType(t *testing.T) {
+	type unregistered struct{ X int }
+	if _, err := EncodeResult(unregistered{}); err == nil {
+		t.Error("encoding an unregistered type succeeded")
+	}
+	if _, err := EncodeResult(nil); err == nil {
+		t.Error("encoding nil succeeded")
+	}
+}
+
+func TestCodecUnknownWireName(t *testing.T) {
+	data := appendString(nil, "sweep_test.never-registered")
+	if _, err := DecodeResult(data); err == nil {
+		t.Error("decoding an unknown wire name succeeded")
+	}
+}
+
+func TestCodecCorruptData(t *testing.T) {
+	enc, err := EncodeResult(testValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, len(enc) / 2, len(enc) - 1} {
+		if _, err := DecodeResult(enc[:n]); err == nil {
+			t.Errorf("decoding %d-byte truncation succeeded", n)
+		}
+	}
+	if _, err := DecodeResult(append(append([]byte(nil), enc...), 0xFF)); err == nil {
+		t.Error("decoding with trailing bytes succeeded")
+	}
+}
+
+func TestRegisterRejectsBadTypes(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	type unexported struct{ x int } //nolint:unused
+	mustPanic("unexported field", func() { RegisterResult[unexported]("sweep_test.unexported") })
+	type withMap struct{ M map[string]int }
+	mustPanic("map field", func() { RegisterResult[withMap]("sweep_test.withMap") })
+	type withPtr struct{ P *int }
+	mustPanic("pointer field", func() { RegisterResult[withPtr]("sweep_test.withPtr") })
+	mustPanic("duplicate wire name", func() { RegisterResult[wireInner]("sweep_test.wireOuter") })
+	mustPanic("duplicate type", func() { RegisterResult[wireOuter]("sweep_test.other-name") })
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	// Same (type, name) pair may be registered twice — packages with
+	// multiple init paths must not trip over themselves.
+	RegisterResult[wireOuter]("sweep_test.wireOuter")
+	if regByName["sweep_test.wireOuter"] != reflect.TypeOf(wireOuter{}) {
+		t.Error("registration lost")
+	}
+}

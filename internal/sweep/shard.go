@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scalefree/internal/engine"
+)
+
+// ShardSpec identifies one shard of a k-way partition. Index is
+// 0-based internally; the operator-facing form ("1/4" … "4/4", parsed
+// by ParseShardSpec) is 1-based.
+type ShardSpec struct {
+	Index int // 0-based shard number, 0 <= Index < Count
+	Count int // total shards, >= 1
+}
+
+// ParseShardSpec parses the -shard flag form "i/k" with 1-based i,
+// e.g. "2/5" is the second of five shards.
+func ParseShardSpec(s string) (ShardSpec, error) {
+	i, k, ok := strings.Cut(s, "/")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("sweep: shard spec %q: want i/k, e.g. 2/5", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(i))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("sweep: shard spec %q: bad shard number: %v", s, err)
+	}
+	cnt, err := strconv.Atoi(strings.TrimSpace(k))
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("sweep: shard spec %q: bad shard count: %v", s, err)
+	}
+	if cnt < 1 || idx < 1 || idx > cnt {
+		return ShardSpec{}, fmt.Errorf("sweep: shard spec %q: want 1 <= i <= k", s)
+	}
+	return ShardSpec{Index: idx - 1, Count: cnt}, nil
+}
+
+// String renders the 1-based operator form.
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index+1, s.Count) }
+
+func (s ShardSpec) validate() error {
+	if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sweep: invalid shard spec %d/%d (0-based)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Filter returns the trials this shard owns: plan index i goes to
+// shard i mod k. The strided assignment interleaves sizes and
+// replications across shards, so the heavy large-n trials of a scaling
+// sweep spread evenly instead of all landing on the last shard. The
+// partition is a pure function of (plan order, k): every shard of the
+// same plan computes a disjoint subset and the union over shards
+// 0..k-1 is exactly the plan.
+func (s ShardSpec) Filter(trials []engine.Trial) []engine.Trial {
+	if s.Count == 1 {
+		return trials
+	}
+	var out []engine.Trial
+	for _, t := range trials {
+		if t.Index%s.Count == s.Index {
+			out = append(out, t)
+		}
+	}
+	return out
+}
