@@ -24,12 +24,13 @@ bench:
 
 # bench-json records the speedup trajectory: the parallel-engine bench,
 # the generator ablation (endpoint array vs Fenwick reference), and the
-# distribution layer (shard merge + warm-cache re-reduce), in
-# `go test -json` event format, one JSON object per line. Commit the
-# refreshed BENCH_gen.json whenever a PR moves these numbers.
+# distribution layer (shard merge, warm-cache re-reduce, coordinator
+# dispatch overhead), in `go test -json` event format, one JSON object
+# per line. Commit the refreshed BENCH_gen.json whenever a PR moves
+# these numbers.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkExperimentWorkers|BenchmarkGenerateMori|BenchmarkGenerateCooperFrieze|BenchmarkShardMerge|BenchmarkCacheHit' \
+		-bench 'BenchmarkExperimentWorkers|BenchmarkGenerateMori|BenchmarkGenerateCooperFrieze|BenchmarkShardMerge|BenchmarkCacheHit|BenchmarkCoordinatorDispatch' \
 		-benchtime 3x -json . > BENCH_gen.json
 
 # bench-smoke is the CI-sized benchmark pass: every benchmark once at

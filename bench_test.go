@@ -8,8 +8,10 @@ package scalefree_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/engine"
@@ -309,4 +311,59 @@ func BenchmarkCacheHit(b *testing.B) {
 			b.Fatalf("cache miss during warm run: %+v", stats)
 		}
 	}
+}
+
+// BenchmarkCoordinatorDispatch measures the work-stealing layer's pure
+// scheduling overhead (DESIGN.md §6.4): a loopback coordinator leasing
+// 256 no-op trials to one in-process worker, chunk by chunk, results
+// streamed back and assembled. Trial execution is free here, so per-op
+// time is protocol round trips + lease bookkeeping + encode/decode —
+// the toll the coordinator adds on top of the trials themselves. The
+// ns/trial metric is the per-trial dispatch cost to compare against
+// real trial runtimes (milliseconds and up).
+func BenchmarkCoordinatorDispatch(b *testing.B) {
+	const nTrials = 256
+	trials := make([]engine.Trial, nTrials)
+	for i := range trials {
+		trials[i] = engine.Trial{Index: i, Key: fmt.Sprintf("bench/%d", i), Seed: uint64(i)}
+	}
+	job := sweep.Job{ExpID: "BENCH", Fingerprint: "benchmark-fingerprint"}
+	resolve := func(expID, fingerprint string) (*sweep.WorkerJob, error) {
+		return &sweep.WorkerJob{
+			Trials: trials,
+			Execute: func(_ context.Context, sub []engine.Trial) (map[int]any, sweep.Stats, error) {
+				out := make(map[int]any, len(sub))
+				for _, t := range sub {
+					out[t.Index] = float64(t.Seed)
+				}
+				return out, sweep.Stats{Executed: len(sub)}, nil
+			},
+		}, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		outcome := make(chan error, 1)
+		go func() {
+			results, err := sweep.Coordinate(context.Background(), lis,
+				[]sweep.CoordJob{{Job: job, Trials: trials}},
+				sweep.CoordOptions{ChunkSize: 8, Linger: time.Millisecond})
+			if err == nil && len(results[0]) != nTrials {
+				err = fmt.Errorf("assembled %d of %d results", len(results[0]), nTrials)
+			}
+			outcome <- err
+		}()
+		if _, err := sweep.RunWorker(context.Background(), lis.Addr().String(), resolve,
+			sweep.WorkerOptions{Name: "bench"}); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-outcome; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*nTrials), "ns/trial")
 }

@@ -6,6 +6,8 @@
 //	experiments [-run E1,E4] [-scale 1.0] [-seed 2024] [-workers 0]
 //	            [-progress] [-csv dir] [-cache dir]
 //	            [-shard i/k -out dir [-resume]] [-merge dir]
+//	            [-coordinate addr [-chunk n] [-lease-ttl d]]
+//	            [-worker addr] [-cache-gc fingerprint]
 //
 // -scale shrinks workload sizes and replication counts proportionally
 // (0.1 gives a quick smoke run); -workers bounds the trial worker pool
@@ -24,14 +26,27 @@
 // gather the files into one directory, and -merge dir reassembles them
 // and prints tables byte-identical to a single-process run of the same
 // seed and scale. -resume lets a -shard run reuse a matching existing
-// shard file. Tables go to stdout; all status goes to stderr, so
-// single-process and merged outputs diff cleanly.
+// shard file.
+//
+// Work stealing (DESIGN.md §6.4): -coordinate addr listens for worker
+// processes, leases them trial chunks with heartbeat deadlines —
+// reassigning a dead worker's chunk — and prints the same
+// byte-identical tables once every trial reports; -worker addr joins
+// such a coordinator, executing leased chunks through the local
+// -workers pool and optional -cache. Every process must use the same
+// binary, -run, -seed, and -scale; the plan fingerprint enforces this.
+// -cache-gc fingerprint deletes a finished or abandoned run's entries
+// (plus crashed writers' temp files) from -cache.
+//
+// Tables go to stdout; all status goes to stderr, so single-process,
+// merged, and coordinated outputs diff cleanly.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -52,30 +67,189 @@ func main() {
 	}
 }
 
+// options is the parsed command line. Modes and their validity rules
+// live in validate(), separately from flag plumbing, so the CLI test
+// covers every rejected combination without exec'ing the binary.
+type options struct {
+	runList  string
+	scale    float64
+	seed     uint64
+	workers  int
+	progress bool
+	csvDir   string
+	cacheDir string
+	shard    string
+	out      string
+	merge    string
+	resume   bool
+	coord    string
+	worker   string
+	cacheGC  string
+	chunk    int
+	leaseTTL time.Duration
+
+	// set records which flags were explicitly given, for rejecting
+	// explicit-but-meaningless combinations whose zero values are
+	// otherwise fine.
+	set map[string]bool
+}
+
+func (o *options) isSet(name string) bool { return o.set[name] }
+
+// mode names the execution mode the flags select: "run", "shard",
+// "merge", "coordinate", "worker", or "cache-gc".
+func (o *options) mode() string {
+	switch {
+	case o.merge != "":
+		return "merge"
+	case o.shard != "":
+		return "shard"
+	case o.coord != "":
+		return "coordinate"
+	case o.worker != "":
+		return "worker"
+	case o.cacheGC != "":
+		return "cache-gc"
+	default:
+		return "run"
+	}
+}
+
+// validate rejects meaningless flag combinations up front — a
+// silently ignored flag reads as accepted and misleads the operator.
+func (o *options) validate() error {
+	// The five non-default modes are pairwise exclusive.
+	modes := []struct{ flag, value string }{
+		{"-merge", o.merge}, {"-shard", o.shard}, {"-coordinate", o.coord},
+		{"-worker", o.worker}, {"-cache-gc", o.cacheGC},
+	}
+	var active []string
+	for _, m := range modes {
+		if m.value != "" {
+			active = append(active, m.flag)
+		}
+	}
+	if len(active) > 1 {
+		return fmt.Errorf("%s are mutually exclusive: each selects a different execution mode", strings.Join(active, " and "))
+	}
+
+	switch o.mode() {
+	case "merge":
+		switch {
+		case o.cacheDir != "":
+			return fmt.Errorf("-cache applies to runs that execute trials; -merge only reads shard files")
+		case o.resume:
+			return fmt.Errorf("-resume applies to -shard runs; -merge re-reads shard files every time")
+		case o.isSet("workers") || o.progress:
+			return fmt.Errorf("-workers and -progress apply to runs that execute trials; -merge only reads shard files")
+		case o.out != "":
+			return fmt.Errorf("-out is the shard file directory written by -shard; -merge reads its directory argument")
+		}
+	case "shard":
+		switch {
+		case o.out == "":
+			return fmt.Errorf("-shard requires -out: shard runs write result files, not tables")
+		case o.csvDir != "":
+			return fmt.Errorf("-csv applies to runs that print tables; shard runs write result files (use -csv with -merge)")
+		}
+	case "coordinate":
+		switch {
+		case o.isSet("workers"):
+			return fmt.Errorf("-workers sizes a trial pool; the coordinator executes no trials (set it on each -worker)")
+		case o.cacheDir != "":
+			return fmt.Errorf("-cache applies to processes that execute trials; the coordinator only schedules (set it on each -worker)")
+		case o.resume:
+			return fmt.Errorf("-resume applies to -shard runs; coordinated sweeps resume through each worker's -cache")
+		case o.out != "":
+			return fmt.Errorf("-out applies to -shard runs; the coordinator prints tables on stdout")
+		}
+	case "worker":
+		switch {
+		case o.csvDir != "":
+			return fmt.Errorf("-csv applies to runs that print tables; workers stream results to the coordinator (use -csv there)")
+		case o.resume:
+			return fmt.Errorf("-resume applies to -shard runs; workers resume through -cache")
+		case o.out != "":
+			return fmt.Errorf("-out applies to -shard runs; workers stream results to the coordinator")
+		}
+	case "cache-gc":
+		switch {
+		case o.cacheDir == "":
+			return fmt.Errorf("-cache-gc needs -cache to name the cache directory to collect")
+		case o.isSet("workers") || o.progress || o.csvDir != "" || o.out != "" || o.resume:
+			return fmt.Errorf("-cache-gc only deletes cache entries; it executes no trials and prints no tables")
+		}
+	case "run":
+		switch {
+		case o.out != "":
+			return fmt.Errorf("-out is the shard file directory; it requires -shard i/k")
+		case o.resume:
+			return fmt.Errorf("-resume applies to -shard runs; plain runs resume via -cache")
+		}
+	}
+
+	// Coordinator tunables make sense only where leases exist.
+	if o.mode() != "coordinate" {
+		if o.isSet("chunk") {
+			return fmt.Errorf("-chunk sizes coordinator leases; it requires -coordinate")
+		}
+		if o.isSet("lease-ttl") {
+			return fmt.Errorf("-lease-ttl bounds coordinator leases; it requires -coordinate")
+		}
+	}
+	if o.isSet("chunk") && o.chunk < 1 {
+		return fmt.Errorf("-chunk must be >= 1 trials per lease")
+	}
+	if o.isSet("lease-ttl") && o.leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive")
+	}
+	return nil
+}
+
+func parseOptions(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.StringVar(&o.runList, "run", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
+	fs.Float64Var(&o.scale, "scale", 1.0, "workload scale factor (1.0 = full EXPERIMENTS.md workload)")
+	fs.Uint64Var(&o.seed, "seed", 2024, "master seed")
+	fs.IntVar(&o.workers, "workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	fs.BoolVar(&o.progress, "progress", false, "stream per-trial completions and aggregate rate/ETA to stderr")
+	fs.StringVar(&o.csvDir, "csv", "", "directory to also write per-table CSV files (optional)")
+	fs.StringVar(&o.cacheDir, "cache", "", "content-addressed per-trial result cache directory (optional)")
+	fs.StringVar(&o.shard, "shard", "", "execute one shard i/k (1-based, e.g. 2/5) and write a shard file instead of tables; requires -out")
+	fs.StringVar(&o.out, "out", "", "directory for shard files written by -shard")
+	fs.StringVar(&o.merge, "merge", "", "merge shard files from this directory and print tables (instead of executing trials)")
+	fs.BoolVar(&o.resume, "resume", false, "with -shard: reuse a matching existing shard file's results")
+	fs.StringVar(&o.coord, "coordinate", "", "listen on this address (e.g. :9131) and lease trial chunks to -worker processes")
+	fs.StringVar(&o.worker, "worker", "", "connect to a coordinator at this address and execute leased chunks")
+	fs.StringVar(&o.cacheGC, "cache-gc", "", "delete the given plan fingerprint's entries (plus temp files) from -cache")
+	fs.IntVar(&o.chunk, "chunk", 8, "with -coordinate: trials per lease")
+	fs.DurationVar(&o.leaseTTL, "lease-ttl", 10*time.Second, "with -coordinate: heartbeat deadline before a lease's chunk is reassigned")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	o.set = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { o.set[f.Name] = true })
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
 func run() error {
-	var (
-		runList  = flag.String("run", "all", "comma-separated experiment IDs (e.g. E1,E4) or 'all'")
-		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = full EXPERIMENTS.md workload)")
-		seed     = flag.Uint64("seed", 2024, "master seed")
-		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "stream per-trial completions and aggregate rate/ETA to stderr")
-		csvDir   = flag.String("csv", "", "directory to also write per-table CSV files (optional)")
-		cacheDir = flag.String("cache", "", "content-addressed per-trial result cache directory (optional)")
-		shardStr = flag.String("shard", "", "execute one shard i/k (1-based, e.g. 2/5) and write a shard file instead of tables; requires -out")
-		outDir   = flag.String("out", "", "directory for shard files written by -shard")
-		mergeDir = flag.String("merge", "", "merge shard files from this directory and print tables (instead of executing trials)")
-		resume   = flag.Bool("resume", false, "with -shard: reuse a matching existing shard file's results")
-	)
-	flag.Parse()
+	o, err := parseOptions(os.Args[1:])
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var selected []experiment.Experiment
-	if *runList == "all" {
+	if o.runList == "all" {
 		selected = experiment.Registry()
 	} else {
-		for _, id := range strings.Split(*runList, ",") {
+		for _, id := range strings.Split(o.runList, ",") {
 			id = strings.TrimSpace(id)
 			e, ok := experiment.ByID(id)
 			if !ok {
@@ -84,58 +258,37 @@ func run() error {
 			selected = append(selected, e)
 		}
 	}
-	// Reject meaningless flag combinations up front — a silently
-	// ignored flag reads as accepted and misleads the operator.
-	workersSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
-			workersSet = true
-		}
-	})
-	switch {
-	case *mergeDir != "" && *shardStr != "":
-		return fmt.Errorf("-merge and -shard are mutually exclusive: merging reads shard files, sharding writes them")
-	case *mergeDir != "" && *cacheDir != "":
-		return fmt.Errorf("-cache applies to runs that execute trials; -merge only reads shard files")
-	case *mergeDir != "" && *resume:
-		return fmt.Errorf("-resume applies to -shard runs; -merge re-reads shard files every time")
-	case *mergeDir != "" && (workersSet || *progress):
-		return fmt.Errorf("-workers and -progress apply to runs that execute trials; -merge only reads shard files")
-	case *shardStr != "" && *outDir == "":
-		return fmt.Errorf("-shard requires -out: shard runs write result files, not tables")
-	case *shardStr != "" && *csvDir != "":
-		return fmt.Errorf("-csv applies to runs that print tables; shard runs write result files (use -csv with -merge)")
-	case *shardStr == "" && *outDir != "":
-		return fmt.Errorf("-out is the shard file directory; it requires -shard i/k")
-	case *shardStr == "" && *resume:
-		return fmt.Errorf("-resume applies to -shard runs; plain runs resume via -cache")
-	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	if o.csvDir != "" {
+		if err := os.MkdirAll(o.csvDir, 0o755); err != nil {
 			return fmt.Errorf("creating CSV directory: %w", err)
 		}
 	}
 
 	var cache *sweep.Cache
-	if *cacheDir != "" {
-		var err error
-		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+	if o.cacheDir != "" {
+		if cache, err = sweep.OpenCache(o.cacheDir); err != nil {
 			return err
 		}
 	}
 
-	cfg := experiment.Config{Seed: *seed, Scale: *scale}
-	switch {
-	case *mergeDir != "":
-		return mergeShards(selected, cfg, *mergeDir, *csvDir)
-	case *shardStr != "":
-		spec, err := sweep.ParseShardSpec(*shardStr)
+	cfg := experiment.Config{Seed: o.seed, Scale: o.scale}
+	switch o.mode() {
+	case "merge":
+		return mergeShards(selected, cfg, o.merge, o.csvDir)
+	case "shard":
+		spec, err := sweep.ParseShardSpec(o.shard)
 		if err != nil {
 			return err
 		}
-		return runShards(ctx, selected, cfg, spec, *workers, *progress, cache, *outDir, *resume)
+		return runShards(ctx, selected, cfg, spec, o.workers, o.progress, cache, o.out, o.resume)
+	case "coordinate":
+		return runCoordinator(ctx, selected, cfg, o)
+	case "worker":
+		return runWorker(ctx, selected, cfg, o, cache)
+	case "cache-gc":
+		return runCacheGC(cache, o.cacheGC)
 	default:
-		return runAll(ctx, selected, cfg, *workers, *progress, cache, *csvDir)
+		return runAll(ctx, selected, cfg, o.workers, o.progress, cache, o.csvDir)
 	}
 }
 
@@ -186,8 +339,12 @@ func runShards(ctx context.Context, selected []experiment.Experiment, cfg experi
 	}
 	for _, e := range selected {
 		path := filepath.Join(outDir, e.ShardFileName(spec))
-		fmt.Fprintf(os.Stderr, "=== %s shard %s: %s (scale %.2f, seed %d) -> %s\n",
-			e.ID, spec, e.Title, cfg.Scale, cfg.Seed, path)
+		fp, err := e.Fingerprint(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "=== %s shard %s: %s (scale %.2f, seed %d, fp %s) -> %s\n",
+			e.ID, spec, e.Title, cfg.Scale, cfg.Seed, fp, path)
 		opts := engine.Options{Workers: workers}
 		if progress {
 			opts.Progress = progressHook(engine.NewRateTracker(0))
@@ -200,6 +357,87 @@ func runShards(ctx context.Context, selected []experiment.Experiment, cfg experi
 		fmt.Fprintf(os.Stderr, "    completed in %v (%s)\n",
 			time.Since(start).Round(time.Millisecond), stats)
 	}
+	return nil
+}
+
+// runCoordinator serves the selected experiments' trials to -worker
+// processes and prints the reduced tables once every trial reports.
+func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options) error {
+	total := 0
+	for _, e := range selected {
+		plan, err := e.Plan(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: planning: %w", e.ID, err)
+		}
+		fp, err := e.Fingerprint(cfg)
+		if err != nil {
+			return err
+		}
+		total += len(plan.Trials)
+		fmt.Fprintf(os.Stderr, "=== %s: %d trials (scale %.2f, seed %d, fp %s)\n",
+			e.ID, len(plan.Trials), cfg.Scale, cfg.Seed, fp)
+	}
+	lis, err := net.Listen("tcp", o.coord)
+	if err != nil {
+		return fmt.Errorf("coordinator listening on %s: %w", o.coord, err)
+	}
+	fmt.Fprintf(os.Stderr, "coordinating %d trials on %s (chunk %d, lease TTL %v)\n",
+		total, lis.Addr(), o.chunk, o.leaseTTL)
+
+	copts := sweep.CoordOptions{ChunkSize: o.chunk, LeaseTTL: o.leaseTTL}
+	if o.progress {
+		agg := engine.NewAggregator(total, engine.NewRateTracker(0))
+		copts.OnResult = func(worker, expID string, t engine.Trial) {
+			agg.Add(worker)
+			snap, _ := agg.Snapshot()
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s (worker %s) | %s\n",
+				snap.Done, snap.Total, expID, t.Key, worker, snap)
+		}
+	}
+	start := time.Now()
+	tables, err := experiment.CoordinateSweep(ctx, selected, cfg, lis, copts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep completed in %v\n", time.Since(start).Round(time.Millisecond))
+	for i, e := range selected {
+		if err := emit(e, tables[i], o.csvDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWorker joins a coordinator and executes leased chunks until the
+// sweep is done.
+func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, cache *sweep.Cache) error {
+	eopts := engine.Options{Workers: o.workers}
+	if o.progress {
+		eopts.Progress = progressHook(engine.NewRateTracker(0))
+	}
+	wopts := sweep.WorkerOptions{
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		},
+	}
+	fmt.Fprintf(os.Stderr, "joining coordinator at %s (scale %.2f, seed %d, workers %d)\n",
+		o.worker, cfg.Scale, cfg.Seed, o.workers)
+	start := time.Now()
+	stats, err := experiment.SweepWorker(ctx, selected, cfg, o.worker, eopts, cache, wopts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "worker done in %v (%s)\n", time.Since(start).Round(time.Millisecond), stats)
+	return nil
+}
+
+// runCacheGC deletes one plan fingerprint's entries from the cache.
+func runCacheGC(cache *sweep.Cache, fingerprint string) error {
+	stats, err := cache.GC(fingerprint)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cache-gc %s: removed %s\n", cache.Dir(), stats)
 	return nil
 }
 

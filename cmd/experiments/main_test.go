@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation pins the CLI's rejection of meaningless flag
+// combinations: every mode must either honour a flag or refuse it
+// loudly — a silently ignored flag reads as accepted and misleads the
+// operator (the -merge -cache case shipped that way once).
+func TestFlagValidation(t *testing.T) {
+	reject := []struct {
+		name string
+		args []string
+		want string // substring of the diagnostic
+	}{
+		// Mode exclusivity.
+		{"merge+shard", []string{"-merge", "d", "-shard", "1/2"}, "mutually exclusive"},
+		{"merge+coordinate", []string{"-merge", "d", "-coordinate", ":0"}, "mutually exclusive"},
+		{"shard+worker", []string{"-shard", "1/2", "-out", "d", "-worker", ":0"}, "mutually exclusive"},
+		{"coordinate+worker", []string{"-coordinate", ":0", "-worker", ":0"}, "mutually exclusive"},
+		{"worker+cache-gc", []string{"-worker", ":0", "-cache-gc", "abc"}, "mutually exclusive"},
+
+		// -merge executes nothing.
+		{"merge+cache", []string{"-merge", "d", "-cache", "c"}, "-cache"},
+		{"merge+resume", []string{"-merge", "d", "-resume"}, "-resume"},
+		{"merge+workers", []string{"-merge", "d", "-workers", "4"}, "-workers"},
+		{"merge+progress", []string{"-merge", "d", "-progress"}, "-progress"},
+		{"merge+out", []string{"-merge", "d", "-out", "o"}, "-out"},
+
+		// -shard writes files, not tables.
+		{"shard without out", []string{"-shard", "1/2"}, "-out"},
+		{"shard+csv", []string{"-shard", "1/2", "-out", "d", "-csv", "c"}, "-csv"},
+
+		// The coordinator schedules; it executes no trials.
+		{"coordinate+workers", []string{"-coordinate", ":0", "-workers", "4"}, "-workers"},
+		{"coordinate+cache", []string{"-coordinate", ":0", "-cache", "c"}, "-cache"},
+		{"coordinate+resume", []string{"-coordinate", ":0", "-resume"}, "-resume"},
+		{"coordinate+out", []string{"-coordinate", ":0", "-out", "d"}, "-out"},
+
+		// Workers stream results; they print no tables.
+		{"worker+csv", []string{"-worker", ":0", "-csv", "c"}, "-csv"},
+		{"worker+resume", []string{"-worker", ":0", "-resume"}, "-resume"},
+		{"worker+out", []string{"-worker", ":0", "-out", "d"}, "-out"},
+
+		// -cache-gc is pure maintenance.
+		{"cache-gc without cache", []string{"-cache-gc", "abc"}, "-cache"},
+		{"cache-gc+workers", []string{"-cache-gc", "abc", "-cache", "c", "-workers", "2"}, "no trials"},
+		{"cache-gc+progress", []string{"-cache-gc", "abc", "-cache", "c", "-progress"}, "no trials"},
+		{"cache-gc+csv", []string{"-cache-gc", "abc", "-cache", "c", "-csv", "x"}, "no trials"},
+
+		// Plain runs.
+		{"out without shard", []string{"-out", "d"}, "-shard"},
+		{"resume without shard", []string{"-resume"}, "-shard"},
+
+		// Coordinator tunables outside -coordinate.
+		{"chunk without coordinate", []string{"-chunk", "4"}, "-coordinate"},
+		{"lease-ttl without coordinate", []string{"-lease-ttl", "5s"}, "-coordinate"},
+		{"chunk on worker", []string{"-worker", ":0", "-chunk", "4"}, "-coordinate"},
+		{"zero chunk", []string{"-coordinate", ":0", "-chunk", "0"}, "-chunk"},
+		{"negative lease", []string{"-coordinate", ":0", "-lease-ttl", "-1s"}, "-lease-ttl"},
+	}
+	for _, tc := range reject {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOptions(tc.args)
+			if err == nil {
+				t.Fatalf("parseOptions(%v) accepted a meaningless combination", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("diagnostic %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	accept := [][]string{
+		{},
+		{"-run", "E1,E4", "-scale", "0.1", "-seed", "7", "-workers", "4", "-progress", "-csv", "c", "-cache", "d"},
+		{"-shard", "2/5", "-out", "d", "-cache", "c", "-resume", "-progress", "-workers", "2"},
+		{"-merge", "d", "-csv", "c"},
+		{"-coordinate", ":9131", "-chunk", "16", "-lease-ttl", "30s", "-progress", "-csv", "c"},
+		{"-worker", "host:9131", "-workers", "8", "-cache", "c", "-progress"},
+		{"-cache-gc", "abc123", "-cache", "c"},
+	}
+	for _, args := range accept {
+		if _, err := parseOptions(args); err != nil {
+			t.Errorf("parseOptions(%v) rejected a valid combination: %v", args, err)
+		}
+	}
+}
+
+// TestFlagModeSelection pins the flag → mode mapping.
+func TestFlagModeSelection(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "run"},
+		{[]string{"-shard", "1/2", "-out", "d"}, "shard"},
+		{[]string{"-merge", "d"}, "merge"},
+		{[]string{"-coordinate", ":0"}, "coordinate"},
+		{[]string{"-worker", ":0"}, "worker"},
+		{[]string{"-cache-gc", "abc", "-cache", "c"}, "cache-gc"},
+	}
+	for _, tc := range cases {
+		o, err := parseOptions(tc.args)
+		if err != nil {
+			t.Errorf("parseOptions(%v): %v", tc.args, err)
+			continue
+		}
+		if got := o.mode(); got != tc.want {
+			t.Errorf("mode(%v) = %q, want %q", tc.args, got, tc.want)
+		}
+	}
+}

@@ -97,11 +97,14 @@ func (rt *RateTracker) Snapshot() RateSnapshot {
 	snap := RateSnapshot{Done: rt.done, Total: rt.total}
 	switch {
 	case len(rt.times) >= 2:
-		// Rate over the observed span inside the window: count the
-		// intervals between the oldest retained completion and now.
+		// Unbiased windowed estimator: conditioning on the oldest
+		// retained completion at times[0], the observation interval
+		// (times[0], now] contains N−1 completions, not N — counting
+		// all N over that span is a fencepost error that overestimates
+		// the rate by N/(N−1), worst exactly when few samples remain.
 		span := now.Sub(rt.times[0])
 		if span > 0 {
-			snap.Rate = float64(len(rt.times)) / span.Seconds()
+			snap.Rate = float64(len(rt.times)-1) / span.Seconds()
 		}
 	case rt.done > 0 && now.After(rt.start):
 		snap.Rate = float64(rt.done) / now.Sub(rt.start).Seconds()
@@ -110,4 +113,47 @@ func (rt *RateTracker) Snapshot() RateSnapshot {
 		snap.ETA = time.Duration(float64(remaining) / snap.Rate * float64(time.Second))
 	}
 	return snap
+}
+
+// Aggregator merges trial completions reported by several concurrent
+// sources — the pools of a multi-process sweep's workers, as seen by
+// its coordinator — into one monotonic completion count feeding a
+// shared RateTracker. The local engine reports Progress.Done as a
+// run-global counter; across processes no such counter exists, so the
+// aggregator owns it and attributes each completion to the source
+// that delivered it.
+type Aggregator struct {
+	mu       sync.Mutex
+	tracker  *RateTracker
+	total    int
+	done     int
+	bySource map[string]int
+}
+
+// NewAggregator builds an aggregator over a sweep of total trials,
+// feeding rt (which must be non-nil).
+func NewAggregator(total int, rt *RateTracker) *Aggregator {
+	return &Aggregator{tracker: rt, total: total, bySource: map[string]int{}}
+}
+
+// Add records one completed trial delivered by source and feeds the
+// tracker. Safe for concurrent use.
+func (a *Aggregator) Add(source string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.done++
+	a.bySource[source]++
+	a.tracker.Observe(Progress{Done: a.done, Total: a.total})
+}
+
+// Snapshot returns the aggregate rate/ETA view plus per-source
+// completion counts (a copy, safe to retain).
+func (a *Aggregator) Snapshot() (RateSnapshot, map[string]int) {
+	a.mu.Lock()
+	bySource := make(map[string]int, len(a.bySource))
+	for s, n := range a.bySource {
+		bySource[s] = n
+	}
+	a.mu.Unlock()
+	return a.tracker.Snapshot(), bySource
 }

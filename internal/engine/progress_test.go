@@ -61,6 +61,34 @@ func TestRateTrackerWindowTracksSlowdown(t *testing.T) {
 	}
 }
 
+// TestRateTrackerUnbiasedAtSmallN pins the fencepost fix exactly: N
+// retained completions span N−1 intervals, so 3 completions 1s apart
+// observed at the moment of the last one are 2 trials / 2 seconds =
+// 1.0 trials/s. The pre-fix estimator reported 3/2 = 1.5 — a 50%
+// overestimate at N=3, shrinking only as the window fills.
+func TestRateTrackerUnbiasedAtSmallN(t *testing.T) {
+	rt, clock := newTestTracker(time.Minute)
+	for done := 1; done <= 3; done++ {
+		clock.advance(time.Second)
+		rt.Observe(Progress{Done: done, Total: 10})
+	}
+	snap := rt.Snapshot()
+	if snap.Rate != 1.0 {
+		t.Errorf("rate = %v trials/s, want exactly 1.0", snap.Rate)
+	}
+	// 7 remaining at 1/s.
+	if snap.ETA != 7*time.Second {
+		t.Errorf("ETA = %v, want 7s", snap.ETA)
+	}
+
+	// The estimator also charges idle time since the last completion:
+	// two more quiet seconds dilute the rate to 2 events / 4 seconds.
+	clock.advance(2 * time.Second)
+	if got := rt.Snapshot().Rate; got != 0.5 {
+		t.Errorf("rate after idle = %v trials/s, want 0.5", got)
+	}
+}
+
 func TestRateTrackerEmptyAndDone(t *testing.T) {
 	rt, _ := newTestTracker(time.Second)
 	snap := rt.Snapshot()
@@ -81,6 +109,31 @@ func TestRateTrackerEmptyAndDone(t *testing.T) {
 	}
 	if snap.Rate <= 0 {
 		t.Errorf("single completion gives no whole-run rate: %+v", snap)
+	}
+}
+
+// TestAggregatorMergesSources: completions attributed to several
+// workers merge into one monotonic count with per-source attribution —
+// what a coordinator renders for -progress.
+func TestAggregatorMergesSources(t *testing.T) {
+	rt, clock := newTestTracker(time.Minute)
+	agg := NewAggregator(20, rt)
+	for i := 0; i < 6; i++ {
+		clock.advance(time.Second)
+		agg.Add("w1")
+		if i%2 == 0 {
+			agg.Add("w2")
+		}
+	}
+	snap, bySource := agg.Snapshot()
+	if snap.Done != 9 || snap.Total != 20 {
+		t.Errorf("aggregate = %d/%d, want 9/20", snap.Done, snap.Total)
+	}
+	if bySource["w1"] != 6 || bySource["w2"] != 3 {
+		t.Errorf("per-source = %v, want w1:6 w2:3", bySource)
+	}
+	if snap.Rate <= 0 {
+		t.Errorf("aggregate rate = %v, want > 0", snap.Rate)
 	}
 }
 

@@ -1,0 +1,226 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"scalefree/internal/engine"
+	"scalefree/internal/sweep"
+)
+
+// startSweepCoordinator serves the selected experiments on loopback
+// and returns the dial address plus the eventual outcome.
+func startSweepCoordinator(t *testing.T, selected []Experiment, cfg Config, opts sweep.CoordOptions) (string, chan struct {
+	tables [][]Table
+	err    error
+}) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcome := make(chan struct {
+		tables [][]Table
+		err    error
+	}, 1)
+	go func() {
+		tables, err := CoordinateSweep(context.Background(), selected, cfg, lis, opts)
+		outcome <- struct {
+			tables [][]Table
+			err    error
+		}{tables, err}
+	}()
+	return lis.Addr().String(), outcome
+}
+
+// TestGoldenCoordinatorKillReassign is the tentpole guarantee: a
+// coordinator-driven sweep in which a worker dies mid-run — its chunk
+// leased, partially executed, never delivered — renders tables
+// byte-identical to the single-process -workers 1 run, and the only
+// re-executed trials are the dead worker's unpersisted chunk.
+func TestGoldenCoordinatorKillReassign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are not short")
+	}
+	exp, _ := ByID("E4")
+	cfg := Config{Seed: 2024, Scale: 0.05}
+	plan, err := exp.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(plan.Trials)
+	if total < 6 {
+		t.Fatalf("E4 plan too small to kill meaningfully: %d trials", total)
+	}
+
+	serial, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := renderAll(t, serial)
+
+	const chunkSize = 2
+	addr, outcome := startSweepCoordinator(t, []Experiment{exp}, cfg,
+		sweep.CoordOptions{ChunkSize: chunkSize, LeaseTTL: time.Minute, Linger: time.Second})
+
+	// The doomed worker: executes its first chunk, then its context is
+	// cancelled before any result is streamed — the process equivalent
+	// of a kill -9 between computation and delivery. Its connection
+	// drop revokes the lease immediately.
+	dieCtx, die := context.WithCancel(context.Background())
+	defer die()
+	deadExecuted := 0
+	deadOpts := engine.Options{Workers: 1, Progress: func(p engine.Progress) {
+		deadExecuted++
+		if deadExecuted == chunkSize {
+			die()
+		}
+	}}
+	_, err = SweepWorker(dieCtx, []Experiment{exp}, cfg, addr, deadOpts, nil, sweep.WorkerOptions{Name: "doomed"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("doomed worker: err = %v, want context.Canceled", err)
+	}
+	if deadExecuted != chunkSize {
+		t.Fatalf("doomed worker executed %d trials, want %d", deadExecuted, chunkSize)
+	}
+
+	// The surviving worker steals the forfeited chunk and finishes the
+	// sweep.
+	stats, err := SweepWorker(context.Background(), []Experiment{exp}, cfg, addr,
+		engine.Options{Workers: 2}, nil, sweep.WorkerOptions{Name: "survivor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := <-outcome
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if got := renderAll(t, out.tables[0]); got != golden {
+		t.Errorf("coordinated output diverges from single-process run:\n--- coordinated ---\n%s\n--- single ---\n%s", got, golden)
+	}
+	// The survivor runs every trial exactly once — total work across
+	// both workers exceeds the plan by exactly the dead worker's
+	// undelivered chunk, never more.
+	if stats.Executed != total {
+		t.Errorf("survivor executed %d trials, want %d (stolen chunk re-runs, nothing else repeats)", stats.Executed, total)
+	}
+}
+
+// TestCoordinatorSharedCacheBoundsLostWork: with a shared trial cache,
+// even the dead worker's executed-but-undelivered chunk is not
+// recomputed — the thief's cache lookup satisfies it, so the sweep
+// re-executes zero trials.
+func TestCoordinatorSharedCacheBoundsLostWork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are not short")
+	}
+	exp, _ := ByID("E4")
+	cfg := Config{Seed: 2024, Scale: 0.05}
+	plan, err := exp.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(plan.Trials)
+
+	serial, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := renderAll(t, serial)
+
+	cache, err := sweep.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunkSize = 2
+	addr, outcome := startSweepCoordinator(t, []Experiment{exp}, cfg,
+		sweep.CoordOptions{ChunkSize: chunkSize, LeaseTTL: time.Minute, Linger: time.Second})
+
+	dieCtx, die := context.WithCancel(context.Background())
+	defer die()
+	deadExecuted := 0
+	deadOpts := engine.Options{Workers: 1, Progress: func(p engine.Progress) {
+		deadExecuted++
+		if deadExecuted == chunkSize {
+			die()
+		}
+	}}
+	if _, err := SweepWorker(dieCtx, []Experiment{exp}, cfg, addr, deadOpts, cache, sweep.WorkerOptions{Name: "doomed"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("doomed worker: err = %v, want context.Canceled", err)
+	}
+
+	stats, err := SweepWorker(context.Background(), []Experiment{exp}, cfg, addr,
+		engine.Options{Workers: 2}, cache, sweep.WorkerOptions{Name: "survivor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := <-outcome
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if got := renderAll(t, out.tables[0]); got != golden {
+		t.Error("coordinated+cached output diverges from single-process run")
+	}
+	// The doomed worker persisted its chunk before dying, so the
+	// survivor cache-hits those trials instead of re-running them:
+	// zero trials execute twice anywhere in the sweep.
+	if stats.Executed != total-deadExecuted || stats.CacheHits != deadExecuted {
+		t.Errorf("survivor stats %+v, want %d executed / %d cache hits", stats, total-deadExecuted, deadExecuted)
+	}
+}
+
+// TestCoordinatorMultiExperimentGolden: several experiments and
+// several concurrent workers through the coordinator still render
+// byte-identically, per experiment, to the serial reference.
+func TestCoordinatorMultiExperimentGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are not short")
+	}
+	cfg := Config{Seed: 2024, Scale: 0.05}
+	var selected []Experiment
+	for _, id := range []string{"E4", "E5"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		selected = append(selected, e)
+	}
+	goldens := make([]string, len(selected))
+	for i, e := range selected {
+		tables, err := e.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[i] = renderAll(t, tables)
+	}
+
+	addr, outcome := startSweepCoordinator(t, selected, cfg,
+		sweep.CoordOptions{ChunkSize: 3, LeaseTTL: time.Minute, Linger: time.Second})
+	errs := make(chan error, 2)
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			_, err := SweepWorker(context.Background(), selected, cfg, addr,
+				engine.Options{Workers: 2}, nil, sweep.WorkerOptions{Name: fmt.Sprintf("w%d", w)})
+			errs <- err
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := <-outcome
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	for i := range selected {
+		if got := renderAll(t, out.tables[i]); got != goldens[i] {
+			t.Errorf("%s: coordinated output diverges from serial run", selected[i].ID)
+		}
+	}
+}

@@ -10,6 +10,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
 
 	"scalefree/internal/core"
@@ -132,6 +133,85 @@ func (e Experiment) RunShard(ctx context.Context, cfg Config, spec sweep.ShardSp
 		return stats, fmt.Errorf("%s shard %s: %w", e.ID, spec, err)
 	}
 	return stats, nil
+}
+
+// CoordinateSweep is the coordinator side of a work-stealing
+// multi-machine run (DESIGN.md §6.4): it plans every selected
+// experiment at cfg, serves the plans' trials to connecting workers as
+// leased chunks via sweep.Coordinate, and — once every trial has a
+// result — reduces each experiment exactly once, in selection order.
+// Because each plan's positional result slice is assembled identically
+// to a local run's, the returned tables are byte-identical to
+// -workers 1 regardless of worker count, chunk schedule, worker
+// deaths, or lease reassignments.
+func CoordinateSweep(ctx context.Context, selected []Experiment, cfg Config, lis net.Listener, opts sweep.CoordOptions) ([][]Table, error) {
+	plans := make([]*Plan, len(selected))
+	jobs := make([]sweep.CoordJob, len(selected))
+	for i, e := range selected {
+		plan, job, err := e.planJob(cfg)
+		if err != nil {
+			lis.Close()
+			return nil, err
+		}
+		plans[i] = plan
+		jobs[i] = sweep.CoordJob{Job: job, Trials: plan.Trials}
+	}
+	byJob, err := sweep.Coordinate(ctx, lis, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	tables := make([][]Table, len(selected))
+	for i, e := range selected {
+		results := make([]any, len(plans[i].Trials))
+		for j := range results {
+			results[j] = byJob[i][j]
+		}
+		tables[i], err = plans[i].Reduce(results)
+		if err != nil {
+			return nil, fmt.Errorf("%s: reducing: %w", e.ID, err)
+		}
+	}
+	return tables, nil
+}
+
+// SweepWorker is the worker side: it re-plans the selected experiments
+// at cfg and serves leased chunks through the cache-aware
+// sweep.Execute path, so a worker's local -cache still persists every
+// finished trial and warm entries satisfy stolen chunks without
+// recomputation. A lease for an experiment this worker did not select,
+// or whose fingerprint differs from the local plan's (different seed,
+// scale, or binary revision), aborts the sweep on both sides — a
+// configuration skew must never be absorbed silently.
+func SweepWorker(ctx context.Context, selected []Experiment, cfg Config, addr string, eopts engine.Options, cache *sweep.Cache, wopts sweep.WorkerOptions) (sweep.Stats, error) {
+	type local struct {
+		plan *Plan
+		job  sweep.Job
+	}
+	locals := make(map[string]local, len(selected))
+	for _, e := range selected {
+		plan, job, err := e.planJob(cfg)
+		if err != nil {
+			return sweep.Stats{}, err
+		}
+		locals[e.ID] = local{plan: plan, job: job}
+	}
+	resolve := func(expID, fingerprint string) (*sweep.WorkerJob, error) {
+		l, ok := locals[expID]
+		if !ok {
+			return nil, fmt.Errorf("experiment %s is not selected on this worker (check -run)", expID)
+		}
+		if l.job.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("%s plan fingerprint %.12s does not match the coordinator's %.12s — workers must run the same binary, -seed, and -scale",
+				expID, l.job.Fingerprint, fingerprint)
+		}
+		return &sweep.WorkerJob{
+			Trials: l.plan.Trials,
+			Execute: func(ctx context.Context, trials []engine.Trial) (map[int]any, sweep.Stats, error) {
+				return sweep.Execute(ctx, l.job, trials, eopts, cache, core.NewScratch, l.plan.Run)
+			},
+		}, nil
+	}
+	return sweep.RunWorker(ctx, addr, resolve, wopts)
 }
 
 // MergeShardFiles reassembles the full positional result slice of the

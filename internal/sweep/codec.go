@@ -16,7 +16,10 @@ import (
 // function — fingerprints pin the workload's *parameters* (config,
 // trial keys, seeds), not the code, so a trial-logic change without a
 // bump would let old cached results splice silently into new runs.
-const CodecVersion = 1
+//
+// Version history: 1 = initial format; 2 = cache entry headers carry
+// the plan fingerprint (enabling GC by fingerprint, cache.go).
+const CodecVersion = 2
 
 // The result-type registry. Wire names are part of the persistence
 // contract: renaming a registered type's wire name orphans its cached

@@ -1,0 +1,416 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"scalefree/internal/engine"
+)
+
+// CoordJob is one experiment's plan as the coordinator schedules it:
+// the job identity (experiment ID + plan fingerprint) and the full
+// positional trial list. Workers re-plan the same experiment locally
+// and the fingerprint guarantees both sides hold identical trials.
+type CoordJob struct {
+	Job    Job
+	Trials []engine.Trial
+}
+
+// CoordOptions configures one Coordinate call.
+type CoordOptions struct {
+	// ChunkSize is the number of trials per lease; <= 0 defaults to 8.
+	// Smaller chunks bound the work a dead worker forfeits; larger
+	// chunks amortize round trips.
+	ChunkSize int
+	// LeaseTTL is the heartbeat deadline: a lease not pinged for this
+	// long is forfeit and its chunk is stolen by the next worker that
+	// asks. <= 0 defaults to 10 seconds.
+	LeaseTTL time.Duration
+	// Linger bounds how long Coordinate keeps serving DONE responses to
+	// connected workers after the sweep finishes, so they exit cleanly
+	// instead of seeing a reset. <= 0 defaults to 3 seconds.
+	Linger time.Duration
+	// OnResult, if non-nil, is called once per newly completed trial
+	// with the reporting worker's name. Duplicate deliveries from
+	// stolen chunks do not re-fire it. Called under the coordinator's
+	// lock — keep it fast.
+	OnResult func(worker, expID string, t engine.Trial)
+}
+
+func (o CoordOptions) withDefaults() CoordOptions {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 8
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.Linger <= 0 {
+		o.Linger = 3 * time.Second
+	}
+	return o
+}
+
+// Coordinate serves the jobs' trials to workers connecting on lis as
+// leased chunks (see wire.go for the protocol) and returns each job's
+// positional results, keyed by plan trial index, once every trial has
+// a result. Scheduling is pull-based work stealing: workers take the
+// next pending chunk when they are free, a chunk whose lease misses
+// its heartbeat deadline (dead worker) or whose connection drops is
+// reassigned, and a duplicate completion — the original worker was
+// slow, not dead — is resolved by content: both encodings of a pure
+// trial must be byte-identical, so the first result wins and a
+// mismatch aborts the sweep as a determinism violation. Because every
+// result lands at its plan index before any reduction, the assembled
+// slices are exactly what a single-process run produces.
+//
+// A worker FAIL (trial error or worker-side plan mismatch) aborts the
+// sweep, mirroring the engine's first-error-cancels semantics.
+// Cancellation of ctx likewise aborts. lis is closed on return.
+func Coordinate(ctx context.Context, lis net.Listener, jobs []CoordJob, opts CoordOptions) ([]map[int]any, error) {
+	opts = opts.withDefaults()
+	st, err := newCoordState(jobs, opts)
+	if err != nil {
+		lis.Close()
+		return nil, err
+	}
+
+	var handlers sync.WaitGroup
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed: sweep over or cancelled
+			}
+			handlers.Add(1)
+			go func() {
+				defer handlers.Done()
+				st.handle(conn)
+			}()
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		st.fail(ctx.Err())
+	case <-st.done:
+	}
+	lis.Close()
+
+	// Let connected workers poll once more and see DONE; then force
+	// any straggler connections closed so handle() goroutines exit.
+	drained := make(chan struct{})
+	go func() { handlers.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(opts.Linger):
+		st.closeConns()
+		<-drained
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failure != nil {
+		return nil, st.failure
+	}
+	return st.results, nil
+}
+
+// coordState is the shared state of one Coordinate call.
+type coordState struct {
+	mu        sync.Mutex
+	jobs      []CoordJob
+	byExp     map[string]int   // ExpID -> job index
+	results   []map[int]any    // per job: trial index -> decoded value
+	encoded   []map[int]string // per job: trial index -> raw payload (dup check)
+	remaining int
+	failure   error
+	finished  bool
+	done      chan struct{}
+	leases    *leaseTable
+	opts      CoordOptions
+	connSeq   uint64
+	conns     map[uint64]net.Conn
+}
+
+func newCoordState(jobs []CoordJob, opts CoordOptions) (*coordState, error) {
+	st := &coordState{
+		jobs:    jobs,
+		byExp:   make(map[string]int, len(jobs)),
+		results: make([]map[int]any, len(jobs)),
+		encoded: make([]map[int]string, len(jobs)),
+		done:    make(chan struct{}),
+		opts:    opts,
+		conns:   map[uint64]net.Conn{},
+	}
+	for j, job := range jobs {
+		if job.Job.ExpID == "" || job.Job.Fingerprint == "" {
+			return nil, fmt.Errorf("sweep: coordinate: job %d has empty identity", j)
+		}
+		if _, dup := st.byExp[job.Job.ExpID]; dup {
+			return nil, fmt.Errorf("sweep: coordinate: duplicate job for %s", job.Job.ExpID)
+		}
+		for i, t := range job.Trials {
+			if t.Index != i {
+				return nil, fmt.Errorf("sweep: coordinate: %s trial %d has plan index %d (jobs must carry full plans)",
+					job.Job.ExpID, i, t.Index)
+			}
+		}
+		st.byExp[job.Job.ExpID] = j
+		st.results[j] = make(map[int]any, len(job.Trials))
+		st.encoded[j] = make(map[int]string, len(job.Trials))
+		st.remaining += len(job.Trials)
+	}
+	st.leases = newLeaseTable(chunked(jobs, opts.ChunkSize), opts.LeaseTTL)
+	if st.remaining == 0 {
+		close(st.done)
+		st.finished = true
+	}
+	return st, nil
+}
+
+// fail records the first failure and releases Coordinate.
+func (st *coordState) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failure == nil {
+		st.failure = err
+	}
+	st.finishLocked()
+}
+
+func (st *coordState) finishLocked() {
+	if !st.finished {
+		st.finished = true
+		close(st.done)
+	}
+}
+
+func (st *coordState) isOver() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.finished
+}
+
+// finishLine renders the sweep's terminal reply: DONE on success,
+// ABORT with the cause on failure.
+func (st *coordState) finishLine() string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.failure != nil {
+		return "ABORT " + quoteMsg(st.failure.Error())
+	}
+	return "DONE"
+}
+
+// chunkCovered reports whether every trial of c has a delivered
+// result.
+func (st *coordState) chunkCovered(c chunk) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := st.results[c.JobIdx]
+	for i := c.Lo; i < c.Hi; i++ {
+		if _, ok := m[i]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *coordState) closeConns() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, c := range st.conns {
+		c.Close()
+	}
+}
+
+// handle serves one worker connection until it disconnects or the
+// protocol is violated. Any lease the connection still holds when it
+// goes away is revoked immediately — a visible disconnect reassigns
+// faster than waiting out the TTL.
+func (st *coordState) handle(conn net.Conn) {
+	wc := newWireConn(conn)
+	st.mu.Lock()
+	st.connSeq++
+	connID := st.connSeq
+	st.conns[connID] = conn
+	st.mu.Unlock()
+	defer func() {
+		wc.close()
+		st.leases.RevokeConn(connID)
+		st.mu.Lock()
+		delete(st.conns, connID)
+		st.mu.Unlock()
+	}()
+
+	worker := ""
+	for {
+		line, err := wc.recv()
+		if err != nil {
+			return
+		}
+		verb, fields := splitMsg(line)
+		switch verb {
+		case "HELLO":
+			if len(fields) < 1 || fields[0] != protoVersion {
+				wc.send("ERR " + quoteMsg(fmt.Sprintf("protocol version mismatch: want %s", protoVersion)))
+				return
+			}
+			if len(fields) > 1 {
+				worker = fields[1]
+			}
+			hb := st.opts.LeaseTTL / 3
+			if hb < time.Millisecond {
+				hb = time.Millisecond
+			}
+			if err := wc.send(fmt.Sprintf("OK %d", hb.Milliseconds())); err != nil {
+				return
+			}
+		case "NEXT":
+			if err := st.serveNext(wc, worker, connID); err != nil {
+				return
+			}
+		case "PING":
+			id, err := parseID(fields)
+			if err != nil {
+				wc.send("ERR " + quoteMsg(err.Error()))
+				return
+			}
+			reply := "GONE"
+			if st.leases.Heartbeat(id) {
+				reply = "OK"
+			}
+			if err := wc.send(reply); err != nil {
+				return
+			}
+		case "RESULT":
+			m, err := parseResult(fields)
+			if err != nil {
+				wc.send("ERR " + quoteMsg(err.Error()))
+				return
+			}
+			if err := st.acceptResult(worker, m); err != nil {
+				st.fail(err)
+				wc.send("ERR " + quoteMsg(err.Error()))
+				return
+			}
+			st.leases.Heartbeat(m.LeaseID) // streaming counts as liveness
+		case "COMPLETE":
+			id, err := parseID(fields)
+			if err != nil {
+				wc.send("ERR " + quoteMsg(err.Error()))
+				return
+			}
+			reply := "GONE"
+			if c, ok := st.leases.Complete(id); ok {
+				reply = "OK"
+				// Coverage backstop: a COMPLETE whose results did not
+				// all arrive (a worker that violated the Execute
+				// contract) must not strand its chunk in limbo — the
+				// missing trials go back on the queue.
+				if !st.chunkCovered(c) {
+					st.leases.Requeue(c)
+				}
+			}
+			if err := wc.send(reply); err != nil {
+				return
+			}
+		case "FAIL":
+			id, err := parseID(fields)
+			if err != nil {
+				wc.send("ERR " + quoteMsg(err.Error()))
+				return
+			}
+			msg := unquoteMsg(fields[1:])
+			st.leases.Complete(id)
+			st.fail(fmt.Errorf("sweep: worker %s: %s", worker, msg))
+			if err := wc.send("OK"); err != nil {
+				return
+			}
+		default:
+			wc.send("ERR " + quoteMsg(fmt.Sprintf("unknown verb %q", verb)))
+			return
+		}
+	}
+}
+
+// serveNext answers one NEXT: a lease, a WAIT (everything leased out
+// and alive), DONE (sweep complete), or ABORT (sweep failed) — the
+// DONE/ABORT distinction lets an idle worker on a failed sweep exit
+// nonzero instead of reporting success.
+func (st *coordState) serveNext(wc *wireConn, worker string, connID uint64) error {
+	if st.isOver() {
+		return wc.send(st.finishLine())
+	}
+	if l, ok := st.leases.Acquire(worker, connID); ok {
+		job := st.jobs[l.Chunk.JobIdx]
+		return wc.send(formatLease(leaseMsg{
+			ID:          l.ID,
+			ExpID:       job.Job.ExpID,
+			Fingerprint: job.Job.Fingerprint,
+			Lo:          l.Chunk.Lo,
+			Hi:          l.Chunk.Hi,
+		}))
+	}
+	if st.isOver() {
+		return wc.send(st.finishLine())
+	}
+	// All chunks are leased to live workers; poll again well inside
+	// the TTL so a freshly expired lease is stolen promptly.
+	wait := st.opts.LeaseTTL / 4
+	if wait > 500*time.Millisecond {
+		wait = 500 * time.Millisecond
+	}
+	if wait < 5*time.Millisecond {
+		wait = 5 * time.Millisecond
+	}
+	return wc.send(fmt.Sprintf("WAIT %d", wait.Milliseconds()))
+}
+
+// acceptResult records one delivered trial result. Results are valid
+// regardless of lease state — trials are pure, so a revoked lease's
+// late delivery is identical to the stolen re-execution — but two
+// deliveries that disagree expose a broken determinism contract and
+// abort the sweep.
+func (st *coordState) acceptResult(worker string, m resultMsg) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.byExp[m.ExpID]
+	if !ok {
+		return fmt.Errorf("sweep: result for unknown experiment %s", m.ExpID)
+	}
+	job := st.jobs[j]
+	if m.Index < 0 || m.Index >= len(job.Trials) {
+		return fmt.Errorf("sweep: result index %d outside %s plan of %d trials", m.Index, m.ExpID, len(job.Trials))
+	}
+	if prev, dup := st.encoded[j][m.Index]; dup {
+		if !bytes.Equal([]byte(prev), m.Payload) {
+			return fmt.Errorf("sweep: %s trial %d (%s): workers delivered different encodings — trial function is not deterministic",
+				m.ExpID, m.Index, job.Trials[m.Index].Key)
+		}
+		return nil
+	}
+	v, err := DecodeResult(m.Payload)
+	if err != nil {
+		return fmt.Errorf("sweep: %s trial %d: %w", m.ExpID, m.Index, err)
+	}
+	st.encoded[j][m.Index] = string(m.Payload)
+	st.results[j][m.Index] = v
+	st.remaining--
+	if st.opts.OnResult != nil {
+		st.opts.OnResult(worker, m.ExpID, job.Trials[m.Index])
+	}
+	if st.remaining == 0 {
+		st.finishLocked()
+	}
+	return nil
+}
+
+// errLeaseRevoked is the worker-side cause when a chunk's lease was
+// stolen mid-execution: the work is abandoned, not failed.
+var errLeaseRevoked = errors.New("sweep: lease revoked")

@@ -4,7 +4,7 @@
 // reassembled into the exact positional result slice a single-process
 // run would have produced.
 //
-// Three cooperating parts:
+// Four cooperating parts:
 //
 //   - A trial-result codec (codec.go): a versioned, deterministic
 //     binary encoding for the `any`-typed values trial functions
@@ -28,6 +28,16 @@
 //     positional results of a shard, and Merge reassembles the full
 //     result slice from any complete set of shard files so the plan's
 //     Reduce runs exactly once.
+//
+//   - A work-stealing coordinator (coordinator.go, worker.go, lease.go,
+//     wire.go): instead of the static i-mod-k partition, Coordinate
+//     serves a plan's trials to live RunWorker processes as small
+//     leased chunks over a line-oriented TCP protocol. Leases carry
+//     heartbeat deadlines; a dead worker's chunk is reassigned, a
+//     dropped connection's chunks return immediately, and duplicate
+//     completions are resolved by comparing encoded bytes — so uneven
+//     trial mixes balance themselves and a machine loss costs at most
+//     one undelivered chunk (zero, when workers share a cache).
 //
 // The invariant the whole package is built around: for a fixed
 // (experiment, Config), any execution strategy — one process, k

@@ -1,0 +1,171 @@
+package sweep
+
+import (
+	"sync"
+	"time"
+)
+
+// chunk is the unit of lease-based scheduling: a contiguous slice
+// [Lo,Hi) of one job's plan trials. Chunks are small (CoordOptions.
+// ChunkSize trials) so a dead worker forfeits little work and a slow
+// worker cannot strand the sweep's tail.
+type chunk struct {
+	JobIdx int // index into the coordinator's job list
+	Lo, Hi int // trial slice range [Lo,Hi)
+}
+
+// lease is one chunk checked out to one worker with a heartbeat
+// deadline. A lease past its deadline is forfeit: the next worker
+// asking for work steals the chunk, and any results the original
+// worker still delivers are resolved by content address.
+type lease struct {
+	ID       uint64
+	Chunk    chunk
+	Worker   string
+	ConnID   uint64
+	Deadline time.Time
+}
+
+// leaseTable is the coordinator's scheduling state: a FIFO queue of
+// unassigned chunks plus the active leases. All methods are safe for
+// concurrent use by connection handlers; time is injectable so expiry
+// logic is unit-testable without sleeping.
+type leaseTable struct {
+	mu      sync.Mutex
+	pending []chunk
+	active  map[uint64]*lease
+	nextID  uint64
+	ttl     time.Duration
+	now     func() time.Time
+}
+
+func newLeaseTable(chunks []chunk, ttl time.Duration) *leaseTable {
+	return &leaseTable{
+		pending: append([]chunk(nil), chunks...),
+		active:  map[uint64]*lease{},
+		ttl:     ttl,
+		now:     time.Now,
+	}
+}
+
+// Acquire hands the next available chunk to a worker, reclaiming
+// expired leases first (the work-stealing step). ok is false when
+// nothing is assignable right now — either the sweep's chunks are all
+// leased out and alive (poll again) or truly done (the caller knows
+// which from its result bookkeeping).
+func (lt *leaseTable) Acquire(worker string, connID uint64) (lease, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.reclaimExpiredLocked()
+	if len(lt.pending) == 0 {
+		return lease{}, false
+	}
+	c := lt.pending[0]
+	lt.pending = lt.pending[1:]
+	lt.nextID++
+	l := &lease{ID: lt.nextID, Chunk: c, Worker: worker, ConnID: connID, Deadline: lt.now().Add(lt.ttl)}
+	lt.active[l.ID] = l
+	return *l, true
+}
+
+// reclaimExpiredLocked moves every overdue lease's chunk back onto the
+// pending queue. Called with mu held.
+func (lt *leaseTable) reclaimExpiredLocked() {
+	now := lt.now()
+	for id, l := range lt.active {
+		if now.After(l.Deadline) {
+			lt.pending = append(lt.pending, l.Chunk)
+			delete(lt.active, id)
+		}
+	}
+}
+
+// Heartbeat extends a live lease's deadline; false means the lease was
+// revoked (expired and reassigned) or already completed, telling the
+// worker its chunk now belongs to someone else.
+func (lt *leaseTable) Heartbeat(id uint64) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.active[id]
+	if !ok {
+		return false
+	}
+	if lt.now().After(l.Deadline) {
+		// Expired but not yet reclaimed: treat the late heartbeat as
+		// lost — the chunk must become stealable, not quietly revived.
+		lt.pending = append(lt.pending, l.Chunk)
+		delete(lt.active, id)
+		return false
+	}
+	l.Deadline = lt.now().Add(lt.ttl)
+	return true
+}
+
+// Complete retires a lease, returning its chunk so the caller can
+// verify result coverage; ok is false when the lease had already been
+// revoked (harmless — the results were still accepted by content
+// address).
+func (lt *leaseTable) Complete(id uint64) (chunk, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.active[id]
+	if !ok {
+		return chunk{}, false
+	}
+	delete(lt.active, id)
+	return l.Chunk, true
+}
+
+// Requeue returns a chunk to the pending queue — the coverage
+// backstop for a COMPLETE whose results did not all arrive.
+func (lt *leaseTable) Requeue(c chunk) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.pending = append(lt.pending, c)
+}
+
+// RevokeConn returns every lease held by a disconnected worker's
+// connection to the pending queue — immediate reassignment instead of
+// waiting out the TTL when the death is observable as an EOF.
+func (lt *leaseTable) RevokeConn(connID uint64) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	n := 0
+	for id, l := range lt.active {
+		if l.ConnID == connID {
+			lt.pending = append(lt.pending, l.Chunk)
+			delete(lt.active, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Idle reports whether nothing is pending or leased — combined with
+// the coordinator's result count, the sweep-completion condition.
+func (lt *leaseTable) Idle() bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.pending) == 0 && len(lt.active) == 0
+}
+
+// chunked splits each job's trial list into ≤ size chunks, in job
+// order then index order. The chunking affects only scheduling
+// granularity, never results: every trial of every job appears in
+// exactly one chunk.
+func chunked(jobs []CoordJob, size int) []chunk {
+	if size < 1 {
+		size = 1
+	}
+	var out []chunk
+	for j, job := range jobs {
+		for lo := 0; lo < len(job.Trials); lo += size {
+			hi := lo + size
+			if hi > len(job.Trials) {
+				hi = len(job.Trials)
+			}
+			out = append(out, chunk{JobIdx: j, Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}

@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"scalefree/internal/engine"
 	"scalefree/internal/rng"
@@ -115,7 +117,7 @@ func TestCachePutGet(t *testing.T) {
 	if _, ok := c.Get(key); ok {
 		t.Fatal("hit on empty cache")
 	}
-	if err := c.Put(key, 42.5); err != nil {
+	if err := c.Put(key, job.Fingerprint, 42.5); err != nil {
 		t.Fatal(err)
 	}
 	v, ok := c.Get(key)
@@ -129,7 +131,7 @@ func TestCachePutGet(t *testing.T) {
 	if _, ok := c.Get(key); ok {
 		t.Error("hit on corrupt entry")
 	}
-	if err := c.Put(key, 7.0); err != nil {
+	if err := c.Put(key, job.Fingerprint, 7.0); err != nil {
 		t.Fatal(err)
 	}
 	if v, ok := c.Get(key); !ok || v != 7.0 {
@@ -137,6 +139,144 @@ func TestCachePutGet(t *testing.T) {
 	}
 	if n, err := c.Len(); err != nil || n != 1 {
 		t.Errorf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+// TestCacheRejectsMalformedKeys: keys CacheKey cannot produce — too
+// short for the fan-out split (which used to panic via key[:2]), or
+// not hex at all — must be Get misses and Put errors, never crashes
+// or stray files.
+func TestCacheRejectsMalformedKeys(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "a", "ab", "ABCDEF", "..", "../../escape", "0g11", "deadbeef/x"} {
+		if _, ok := c.Get(key); ok {
+			t.Errorf("Get(%q) hit", key)
+		}
+		if err := c.Put(key, "fp", 1.0); err == nil {
+			t.Errorf("Put(%q) succeeded", key)
+		}
+	}
+	if n, err := c.Len(); err != nil || n != 0 {
+		t.Errorf("malformed puts left %d entries (%v)", n, err)
+	}
+}
+
+// TestCacheLenSkipsTempFiles: a crashed writer's temp leftovers are
+// not entries and must not inflate Len.
+func TestCacheLenSkipsTempFiles(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := makeTrials(1)
+	job := testJob(trials)
+	key := CacheKey(job.ExpID, job.Fingerprint, trials[0])
+	if err := c.Put(key, job.Fingerprint, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	crash := filepath.Join(c.Dir(), key[:2], tempPrefix+key+"-1234")
+	if err := os.WriteFile(crash, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1 (temp files are not entries)", n, err)
+	}
+}
+
+// TestOpenCacheReapsStaleTemps: reopening a cache removes temp files
+// old enough to be crash orphans, but leaves fresh ones (a concurrent
+// writer's in-flight rename) alone.
+func TestOpenCacheReapsStaleTemps(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(sub, tempPrefix+"old-111")
+	fresh := filepath.Join(sub, tempPrefix+"new-222")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tempReapAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived OpenCache")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file was reaped")
+	}
+	_ = c
+}
+
+// TestCacheGCByFingerprint: GC removes exactly one fingerprint's
+// entries plus temp and corrupt files, leaving other runs' entries
+// usable.
+func TestCacheGCByFingerprint(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := makeTrials(6)
+	keep := Job{ExpID: "ETEST", Fingerprint: Fingerprint("ETEST", "seed=1/scale=1", trials)}
+	drop := Job{ExpID: "ETEST", Fingerprint: Fingerprint("ETEST", "seed=2/scale=1", trials)}
+	for _, tr := range trials[:4] {
+		if err := storeTrial(c, keep.ExpID, keep.Fingerprint, tr, float64(tr.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tr := range trials {
+		if err := storeTrial(c, drop.ExpID, drop.Fingerprint, tr, float64(tr.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A temp leftover and a corrupt entry ride along.
+	corruptKey := "00" + strings.Repeat("ab", 31)
+	if err := os.MkdirAll(filepath.Join(c.Dir(), "00"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "00", corruptKey), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "00", tempPrefix+"left-1"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := c.GC(drop.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 6 || stats.Corrupt != 1 || stats.Temps != 1 || stats.Bytes == 0 {
+		t.Errorf("GC stats = %+v, want 6 entries / 1 corrupt / 1 temp", stats)
+	}
+	if n, err := c.Len(); err != nil || n != 4 {
+		t.Errorf("Len after GC = %d, %v; want 4", n, err)
+	}
+	for _, tr := range trials[:4] {
+		if v, ok := lookupTrial(c, keep.ExpID, keep.Fingerprint, tr); !ok || v != float64(tr.Seed) {
+			t.Errorf("kept entry for trial %d unreadable after GC: %v, %v", tr.Index, v, ok)
+		}
+	}
+	for _, tr := range trials {
+		if _, ok := lookupTrial(c, drop.ExpID, drop.Fingerprint, tr); ok {
+			t.Errorf("dropped fingerprint still hits for trial %d", tr.Index)
+		}
+	}
+	if _, err := c.GC(""); err == nil {
+		t.Error("GC with empty fingerprint succeeded")
 	}
 }
 

@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The coordinator wire protocol (DESIGN.md §6.4): a line-oriented
+// exchange over one TCP connection per worker. Every message is a
+// single '\n'-terminated line of space-separated fields; binary result
+// payloads travel hex-encoded on the line, so the protocol stays
+// printable end to end and a sweep can be debugged with netcat.
+//
+// Client (worker) lines:
+//
+//	HELLO SFCOORD1 <name>                     open the session
+//	NEXT                                      request a chunk lease
+//	PING <leaseID>                            heartbeat while executing
+//	RESULT <leaseID> <expID> <trialIdx> <hex> one trial's encoded result
+//	COMPLETE <leaseID>                        all of the lease's results sent
+//	FAIL <leaseID> <quoted-msg>               the chunk cannot be executed
+//
+// Server (coordinator) lines:
+//
+//	OK [<heartbeat-millis>]           HELLO/COMPLETE acknowledgement
+//	LEASE <id> <expID> <fp> <lo> <hi> a chunk: trials [lo,hi) of expID
+//	WAIT <millis>                     nothing leasable now; poll again
+//	DONE                              the sweep succeeded; disconnect
+//	ABORT <quoted-msg>                the sweep failed; exit nonzero
+//	GONE                              the lease was revoked (PING/COMPLETE)
+//	ERR <quoted-msg>                  protocol failure; connection closes
+//
+// Exchange discipline: HELLO, NEXT, PING, COMPLETE and FAIL are
+// request/response (exactly one reply line each); RESULT lines are
+// fire-and-forget so a worker streams a chunk's results without a
+// round trip per trial — the COMPLETE that follows them is the
+// synchronization point. Results are valid even when their lease was
+// revoked: trials are pure and content-addressed, so the coordinator
+// accepts the value and resolves the duplicate by comparing encoded
+// bytes.
+const protoVersion = "SFCOORD1"
+
+// wireMaxLine bounds one protocol line. Encoded trial results are
+// small (tens of bytes of struct fields, doubled by hex), so 1 MiB is
+// generous headroom rather than a practical limit.
+const wireMaxLine = 1 << 20
+
+// wireConn frames a TCP connection into protocol lines.
+type wireConn struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+func newWireConn(conn net.Conn) *wireConn {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), wireMaxLine)
+	return &wireConn{conn: conn, r: sc, w: bufio.NewWriter(conn)}
+}
+
+// send writes one line and flushes it.
+func (c *wireConn) send(line string) error {
+	if _, err := c.w.WriteString(line); err != nil {
+		return err
+	}
+	if err := c.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// buffer queues one line without flushing — used for RESULT streams,
+// flushed by the COMPLETE that follows.
+func (c *wireConn) buffer(line string) error {
+	if _, err := c.w.WriteString(line); err != nil {
+		return err
+	}
+	return c.w.WriteByte('\n')
+}
+
+// recv reads one line. An EOF or read error surfaces as-is; the
+// caller decides whether a vanished peer is fatal.
+func (c *wireConn) recv() (string, error) {
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("sweep: connection closed")
+	}
+	return c.r.Text(), nil
+}
+
+func (c *wireConn) close() error { return c.conn.Close() }
+
+// leaseMsg is the parsed form of a LEASE line.
+type leaseMsg struct {
+	ID          uint64
+	ExpID       string
+	Fingerprint string
+	Lo, Hi      int // trial slice range [Lo,Hi) into the job's plan
+}
+
+func formatLease(m leaseMsg) string {
+	return fmt.Sprintf("LEASE %d %s %s %d %d", m.ID, m.ExpID, m.Fingerprint, m.Lo, m.Hi)
+}
+
+// resultMsg is the parsed form of a RESULT line. The experiment ID
+// travels on every line (not just the lease) so a result from an
+// already-revoked lease can still be routed to its job.
+type resultMsg struct {
+	LeaseID uint64
+	ExpID   string
+	Index   int
+	Payload []byte
+}
+
+func formatResult(leaseID uint64, expID string, index int, payload []byte) string {
+	return fmt.Sprintf("RESULT %d %s %d %s", leaseID, expID, index, hex.EncodeToString(payload))
+}
+
+// splitMsg splits a protocol line into its verb and fields.
+func splitMsg(line string) (verb string, fields []string) {
+	parts := strings.Fields(line)
+	if len(parts) == 0 {
+		return "", nil
+	}
+	return parts[0], parts[1:]
+}
+
+func parseLease(fields []string) (leaseMsg, error) {
+	if len(fields) != 5 {
+		return leaseMsg{}, fmt.Errorf("sweep: LEASE wants 5 fields, got %d", len(fields))
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return leaseMsg{}, fmt.Errorf("sweep: LEASE id: %v", err)
+	}
+	lo, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return leaseMsg{}, fmt.Errorf("sweep: LEASE lo: %v", err)
+	}
+	hi, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return leaseMsg{}, fmt.Errorf("sweep: LEASE hi: %v", err)
+	}
+	if lo < 0 || hi < lo {
+		return leaseMsg{}, fmt.Errorf("sweep: LEASE range [%d,%d) invalid", lo, hi)
+	}
+	return leaseMsg{ID: id, ExpID: fields[1], Fingerprint: fields[2], Lo: lo, Hi: hi}, nil
+}
+
+func parseResult(fields []string) (resultMsg, error) {
+	if len(fields) != 4 {
+		return resultMsg{}, fmt.Errorf("sweep: RESULT wants 4 fields, got %d", len(fields))
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return resultMsg{}, fmt.Errorf("sweep: RESULT lease id: %v", err)
+	}
+	idx, err := strconv.Atoi(fields[2])
+	if err != nil {
+		return resultMsg{}, fmt.Errorf("sweep: RESULT trial index: %v", err)
+	}
+	payload, err := hex.DecodeString(fields[3])
+	if err != nil {
+		return resultMsg{}, fmt.Errorf("sweep: RESULT payload: %v", err)
+	}
+	return resultMsg{LeaseID: id, ExpID: fields[1], Index: idx, Payload: payload}, nil
+}
+
+// parseMillis parses the numeric field of WAIT and the optional
+// heartbeat field of OK.
+func parseMillis(field string) (time.Duration, error) {
+	ms, err := strconv.Atoi(field)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("sweep: bad millisecond count %q", field)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// quoteMsg folds an error message onto one protocol line; unquoteMsg
+// inverts it.
+func quoteMsg(msg string) string { return strconv.Quote(msg) }
+
+func unquoteMsg(fields []string) string {
+	joined := strings.Join(fields, " ")
+	if s, err := strconv.Unquote(joined); err == nil {
+		return s
+	}
+	return joined
+}
+
+// parseID parses the lease-id field shared by PING/COMPLETE/FAIL.
+func parseID(fields []string) (uint64, error) {
+	if len(fields) < 1 {
+		return 0, fmt.Errorf("sweep: missing lease id")
+	}
+	return strconv.ParseUint(fields[0], 10, 64)
+}

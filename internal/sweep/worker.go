@@ -1,0 +1,271 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"scalefree/internal/engine"
+)
+
+// WorkerJob is the worker-local counterpart of a CoordJob: the plan's
+// trials plus an Execute closure that runs a subset of them through
+// the caller's execution stack (engine options, scratch factory,
+// result cache). Execute must honour sweep.Execute's semantics:
+// results keyed by plan trial index, context cancellation respected.
+type WorkerJob struct {
+	Trials  []engine.Trial
+	Execute func(ctx context.Context, trials []engine.Trial) (map[int]any, Stats, error)
+}
+
+// WorkerJobResolver maps a leased (experiment ID, plan fingerprint)
+// onto the worker's local plan. Returning an error means the worker
+// cannot run this sweep at all — wrong experiment selection, seed,
+// scale, or binary revision — and aborts the sweep loudly on both
+// sides rather than letting a misconfigured worker spin or, worse,
+// compute under different parameters.
+type WorkerJobResolver func(expID, fingerprint string) (*WorkerJob, error)
+
+// WorkerOptions configures one RunWorker call.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator-side progress and
+	// error messages; empty defaults to host:pid.
+	Name string
+	// Heartbeat overrides the coordinator-announced PING interval
+	// (tests); <= 0 uses the announced value.
+	Heartbeat time.Duration
+	// Log, if non-nil, receives one line per lease processed.
+	Log func(format string, args ...any)
+}
+
+// RunWorker connects to a coordinator, pulls chunk leases until the
+// coordinator reports the sweep done, executes each chunk via the
+// resolver's Execute closure, and streams encoded results back. While
+// a chunk executes, a background heartbeat keeps its lease alive; if
+// the coordinator reports the lease revoked (this worker was presumed
+// dead and its chunk stolen), the chunk's execution is cancelled and
+// abandoned without error — the thief delivers the results. The
+// returned stats aggregate what this worker executed and what its
+// local cache satisfied.
+func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts WorkerOptions) (Stats, error) {
+	var stats Stats
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return stats, fmt.Errorf("sweep: worker connecting to %s: %w", addr, err)
+	}
+	wc := newWireConn(conn)
+	defer wc.close()
+	// Unblock any in-flight read when the caller cancels.
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stopWatch()
+
+	name := opts.Name
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if err := wc.send(fmt.Sprintf("HELLO %s %s", protoVersion, name)); err != nil {
+		return stats, fmt.Errorf("sweep: worker handshake: %w", err)
+	}
+	line, err := wc.recv()
+	if err != nil {
+		return stats, fmt.Errorf("sweep: worker handshake: %w", err)
+	}
+	verb, fields := splitMsg(line)
+	if verb != "OK" {
+		return stats, fmt.Errorf("sweep: coordinator rejected handshake: %s", line)
+	}
+	heartbeat := opts.Heartbeat
+	if heartbeat <= 0 && len(fields) > 0 {
+		if hb, err := parseMillis(fields[0]); err == nil && hb > 0 {
+			heartbeat = hb
+		}
+	}
+	if heartbeat <= 0 {
+		heartbeat = 3 * time.Second
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		if err := wc.send("NEXT"); err != nil {
+			return stats, fmt.Errorf("sweep: worker requesting chunk: %w", err)
+		}
+		line, err := wc.recv()
+		if err != nil {
+			return stats, fmt.Errorf("sweep: worker requesting chunk: %w", err)
+		}
+		verb, fields := splitMsg(line)
+		switch verb {
+		case "DONE":
+			return stats, nil
+		case "ABORT":
+			// The sweep failed elsewhere (another worker's trial error
+			// or config skew); exit nonzero so this worker's machine
+			// also shows the failure.
+			return stats, fmt.Errorf("sweep: aborted: %s", unquoteMsg(fields))
+		case "WAIT":
+			if len(fields) != 1 {
+				return stats, fmt.Errorf("sweep: malformed WAIT %q", line)
+			}
+			d, err := parseMillis(fields[0])
+			if err != nil {
+				return stats, err
+			}
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(d):
+			}
+		case "LEASE":
+			m, err := parseLease(fields)
+			if err != nil {
+				return stats, err
+			}
+			chunkStats, err := runLease(ctx, wc, m, resolve, heartbeat, opts.Log)
+			stats.Executed += chunkStats.Executed
+			stats.CacheHits += chunkStats.CacheHits
+			if err != nil {
+				return stats, err
+			}
+		case "ERR":
+			return stats, fmt.Errorf("sweep: coordinator: %s", unquoteMsg(fields))
+		default:
+			return stats, fmt.Errorf("sweep: unexpected coordinator reply %q", line)
+		}
+	}
+}
+
+// runLease executes one leased chunk and streams its results. A
+// revoked lease (stolen chunk) is not an error: the work is abandoned
+// and the caller polls for the next chunk.
+func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobResolver, heartbeat time.Duration, logf func(string, ...any)) (Stats, error) {
+	job, err := resolve(m.ExpID, m.Fingerprint)
+	if err == nil && m.Hi > len(job.Trials) {
+		err = fmt.Errorf("lease range [%d,%d) exceeds local plan of %d trials", m.Lo, m.Hi, len(job.Trials))
+	}
+	if err != nil {
+		// The coordinator must learn this worker cannot participate;
+		// a silent exit would look like a death and waste a TTL.
+		sendFail(wc, m.ID, err)
+		return Stats{}, fmt.Errorf("sweep: lease for %s: %w", m.ExpID, err)
+	}
+	trials := job.Trials[m.Lo:m.Hi]
+	if logf != nil {
+		logf("lease %d: %s trials [%d,%d)", m.ID, m.ExpID, m.Lo, m.Hi)
+	}
+
+	results, stats, err := executeWithHeartbeat(ctx, wc, m.ID, job, trials, heartbeat)
+	if err != nil {
+		if errors.Is(err, errLeaseRevoked) {
+			if logf != nil {
+				logf("lease %d revoked, chunk stolen", m.ID)
+			}
+			return stats, nil
+		}
+		if ctx.Err() != nil {
+			return stats, ctx.Err()
+		}
+		sendFail(wc, m.ID, err)
+		return stats, fmt.Errorf("sweep: executing %s trials [%d,%d): %w", m.ExpID, m.Lo, m.Hi, err)
+	}
+
+	// Stream the chunk's results in index order (determinism of the
+	// wire stream itself is not required — results land positionally —
+	// but ordered streams make captures diffable), then synchronize on
+	// COMPLETE's acknowledgement.
+	idxs := make([]int, 0, len(results))
+	for i := range results {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		payload, err := EncodeResult(results[i])
+		if err != nil {
+			sendFail(wc, m.ID, err)
+			return stats, fmt.Errorf("sweep: encoding %s trial %d: %w", m.ExpID, i, err)
+		}
+		if err := wc.buffer(formatResult(m.ID, m.ExpID, i, payload)); err != nil {
+			return stats, fmt.Errorf("sweep: streaming results: %w", err)
+		}
+	}
+	if err := wc.send(fmt.Sprintf("COMPLETE %d", m.ID)); err != nil {
+		return stats, fmt.Errorf("sweep: completing lease: %w", err)
+	}
+	line, err := wc.recv()
+	if err != nil {
+		return stats, fmt.Errorf("sweep: completing lease: %w", err)
+	}
+	switch verb, fields := splitMsg(line); verb {
+	case "OK", "GONE": // GONE: lease was stolen but the results were accepted
+		return stats, nil
+	case "ERR":
+		return stats, fmt.Errorf("sweep: coordinator: %s", unquoteMsg(fields))
+	default:
+		return stats, fmt.Errorf("sweep: unexpected COMPLETE reply %q", line)
+	}
+}
+
+// executeWithHeartbeat runs the chunk while a background goroutine
+// owns the connection, pinging the lease every interval. The two
+// goroutines never touch the connection concurrently: the main
+// goroutine is inside Execute for exactly the period the heartbeater
+// runs, and resumes only after the heartbeater has fully stopped.
+func executeWithHeartbeat(ctx context.Context, wc *wireConn, leaseID uint64, job *WorkerJob, trials []engine.Trial, interval time.Duration) (map[int]any, Stats, error) {
+	hbCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	stop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-hbCtx.Done():
+				return
+			case <-ticker.C:
+				if err := wc.send(fmt.Sprintf("PING %d", leaseID)); err != nil {
+					cancel(err)
+					return
+				}
+				line, err := wc.recv()
+				if err != nil {
+					cancel(err)
+					return
+				}
+				if verb, _ := splitMsg(line); verb == "GONE" {
+					cancel(errLeaseRevoked)
+					return
+				}
+			}
+		}
+	}()
+	results, stats, err := job.Execute(hbCtx, trials)
+	close(stop)
+	<-hbDone
+	if err != nil {
+		// Surface the cancellation's cause: a revoked lease or a
+		// heartbeat transport failure explains the abort better than
+		// the bare context.Canceled the engine reports.
+		if cause := context.Cause(hbCtx); cause != nil && !errors.Is(err, cause) && errors.Is(err, context.Canceled) {
+			err = cause
+		}
+	}
+	return results, stats, err
+}
+
+func sendFail(wc *wireConn, leaseID uint64, failure error) {
+	if err := wc.send(fmt.Sprintf("FAIL %d %s", leaseID, quoteMsg(failure.Error()))); err != nil {
+		return
+	}
+	wc.recv() // the OK acknowledgement; errors are moot at this point
+}
