@@ -23,14 +23,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-json records the speedup trajectory: the parallel-engine bench,
-# the generator ablation (endpoint array vs Fenwick reference), and the
-# distribution layer (shard merge, warm-cache re-reduce, coordinator
-# dispatch overhead), in `go test -json` event format, one JSON object
-# per line. Commit the refreshed BENCH_gen.json whenever a PR moves
-# these numbers.
+# the generator ablations (endpoint array vs Fenwick reference; the
+# fitness/geopa rejection samplers), the per-model registry generation
+# sweep (every registered family), and the distribution layer (shard
+# merge, warm-cache re-reduce, coordinator dispatch overhead), in
+# `go test -json` event format, one JSON object per line. Commit the
+# refreshed BENCH_gen.json whenever a PR moves these numbers.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkExperimentWorkers|BenchmarkGenerateMori|BenchmarkGenerateCooperFrieze|BenchmarkShardMerge|BenchmarkCacheHit|BenchmarkCoordinatorDispatch' \
+		-bench 'BenchmarkExperimentWorkers|BenchmarkGenerateMori|BenchmarkGenerateCooperFrieze|BenchmarkGenerateFitness|BenchmarkGenerateGeoPA|BenchmarkGenerateModels|BenchmarkShardMerge|BenchmarkCacheHit|BenchmarkCoordinatorDispatch' \
 		-benchtime 3x -json . > BENCH_gen.json
 
 # bench-smoke is the CI-sized benchmark pass: every benchmark once at

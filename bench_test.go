@@ -16,6 +16,9 @@ import (
 	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/engine"
 	"scalefree/internal/experiment"
+	"scalefree/internal/fitness"
+	"scalefree/internal/geopa"
+	"scalefree/internal/model"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
 	"scalefree/internal/sweep"
@@ -57,6 +60,8 @@ func BenchmarkE8AdamicSearch(b *testing.B)           { benchmarkExperiment(b, "E
 func BenchmarkE9KleinbergRouting(b *testing.B)       { benchmarkExperiment(b, "E9") }
 func BenchmarkE10PercolationSearch(b *testing.B)     { benchmarkExperiment(b, "E10") }
 func BenchmarkE11UniformAttachment(b *testing.B)     { benchmarkExperiment(b, "E11") }
+func BenchmarkE12FitnessModel(b *testing.B)          { benchmarkExperiment(b, "E12") }
+func BenchmarkE13GeometricPA(b *testing.B)           { benchmarkExperiment(b, "E13") }
 
 // BenchmarkExperimentWorkers measures the wall-clock speedup of the
 // trial engine: the same experiment, same seed, same (bit-identical)
@@ -189,6 +194,114 @@ func BenchmarkGenerateCooperFrieze(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGenerateFitness measures the Bianconi–Barabási production
+// path: the O(1) endpoint-array rejection sampler, with and without
+// scratch reuse (the O(n)-per-draw exact-inversion reference is
+// validated by chi-square in the package tests but is quadratic, so it
+// stays out of the benchmark). -short drops to a smoke size for CI.
+func BenchmarkGenerateFitness(b *testing.B) {
+	n := 1 << 18
+	if testing.Short() {
+		n = 1 << 13
+	}
+	cfg := fitness.Config{N: n, M: 2, Eta0: 0.1}
+	b.Run(fmt.Sprintf("endpoint/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Generate(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("endpoint-scratch/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		var s fitness.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.GenerateScratch(r, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGenerateGeoPA is the geometric-PA half of the new-model
+// generator benchmarks; see BenchmarkGenerateFitness.
+func BenchmarkGenerateGeoPA(b *testing.B) {
+	n := 1 << 18
+	if testing.Short() {
+		n = 1 << 13
+	}
+	cfg := geopa.Config{N: n, M: 2, R: 0.25}
+	b.Run(fmt.Sprintf("endpoint/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Generate(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("endpoint-scratch/n=%d", n), func(b *testing.B) {
+		r := rng.New(1)
+		var s geopa.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.GenerateScratch(r, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGenerateModels sweeps every registered model family
+// through the registry (model.New → Generate with a shared
+// model.Scratch) at comparable sizes, recording the per-model
+// generation throughput BENCH_gen.json promises: a newly registered
+// family shows up here with no benchmark changes (the bench fails
+// loudly if its parameter entry is missing). -short drops to smoke
+// sizes for CI.
+func BenchmarkGenerateModels(b *testing.B) {
+	n := 1 << 16
+	if testing.Short() {
+		n = 1 << 12
+	}
+	l := 1 << 8 // kleinberg: l² = n vertices
+	if testing.Short() {
+		l = 1 << 6
+	}
+	params := map[string]string{
+		"mori":      fmt.Sprintf("n=%d,m=1,p=0.5", n),
+		"cf":        fmt.Sprintf("n=%d,alpha=0.8", n),
+		"ba":        fmt.Sprintf("n=%d,m=2", n),
+		"config":    fmt.Sprintf("n=%d,k=2.3", n),
+		"kleinberg": fmt.Sprintf("l=%d,r=2", l),
+		"fitness":   fmt.Sprintf("n=%d,m=1,eta0=0.1", n),
+		"geopa":     fmt.Sprintf("n=%d,m=1,r=0.25", n),
+	}
+	for _, f := range model.Families() {
+		p, ok := params[f.Name]
+		if !ok {
+			b.Fatalf("no benchmark parameters for registered model %s — add an entry", f.Name)
+		}
+		m, err := model.New(f.Name, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("%s/%s", f.Name, p), func(b *testing.B) {
+			r := rng.New(1)
+			var s model.Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Generate(r, &s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationFenwickVsEndpointArray quantifies the sampler-level

@@ -1,5 +1,5 @@
 // Command experiments runs the paper-reproduction experiment suite
-// (E1–E11, see DESIGN.md) and prints the EXPERIMENTS.md tables.
+// (E1–E13, see DESIGN.md) and prints the EXPERIMENTS.md tables.
 //
 // Usage:
 //
@@ -253,7 +253,7 @@ func run() error {
 			id = strings.TrimSpace(id)
 			e, ok := experiment.ByID(id)
 			if !ok {
-				return fmt.Errorf("unknown experiment %q (known: E1..E11)", id)
+				return fmt.Errorf("unknown experiment %q (known: E1..E13)", id)
 			}
 			selected = append(selected, e)
 		}

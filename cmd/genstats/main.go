@@ -1,13 +1,22 @@
-// Command genstats generates one graph from a chosen model and prints
-// its structural statistics: degree distribution with power-law fit,
-// maximum degree, distances, and connectivity.
+// Command genstats generates one graph from any model registered in
+// the model registry (internal/model) and prints its structural
+// statistics: degree distribution with power-law fit, maximum degree,
+// distances, and connectivity.
 //
 // Usage:
 //
-//	genstats -model mori -n 16384 -p 0.5 -m 1 [-seed 1]
-//	genstats -model cf -n 16384 -alpha 0.8
-//	genstats -model ba -n 16384 -m 2
-//	genstats -model config -n 16384 -k 2.3
+//	genstats -model mori -params n=16384,p=0.5,m=1 [-seed 1]
+//	genstats -model cf -params n=16384,alpha=0.8
+//	genstats -model fitness -params n=16384,m=2,eta0=0.1
+//	genstats -model geopa -params n=16384,r=0.25
+//
+// -params is a comma-separated name=value list validated against the
+// chosen model's parameter table (missing parameters take their
+// defaults; run `graphgen -list` for the registry). Defaults are the
+// registry's — e.g. bare genstats now measures the registry default
+// n=4096, where the pre-registry CLI defaulted to 16384 — so pass
+// -params n=… when comparing against older baselines. Adding a model
+// to the registry makes it available here with no CLI changes.
 package main
 
 import (
@@ -16,11 +25,8 @@ import (
 	"math"
 	"os"
 
-	"scalefree/internal/ba"
-	"scalefree/internal/configmodel"
-	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/graph"
-	"scalefree/internal/mori"
+	"scalefree/internal/model"
 	"scalefree/internal/rng"
 	"scalefree/internal/stats"
 )
@@ -34,42 +40,24 @@ func main() {
 
 func run() error {
 	var (
-		model = flag.String("model", "mori", "graph model: mori, cf, ba, config")
-		n     = flag.Int("n", 16384, "number of vertices")
-		p     = flag.Float64("p", 0.5, "mori: preferential mixing")
-		m     = flag.Int("m", 1, "mori/ba: merge factor / edges per vertex")
-		alpha = flag.Float64("alpha", 0.8, "cf: probability of procedure New")
-		k     = flag.Float64("k", 2.3, "config: power-law exponent")
-		seed  = flag.Uint64("seed", 1, "seed")
+		name   = flag.String("model", "mori", "registered model name (see graphgen -list)")
+		params = flag.String("params", "", "comma-separated name=value model parameters (defaults otherwise)")
+		seed   = flag.Uint64("seed", 1, "seed")
 	)
 	flag.Parse()
 
-	r := rng.New(*seed)
-	var g *graph.Graph
-	var err error
-	switch *model {
-	case "mori":
-		g, err = mori.Config{N: *n, M: *m, P: *p}.Generate(r)
-	case "cf":
-		var res *cooperfrieze.Result
-		res, err = cooperfrieze.Config{N: *n, Alpha: *alpha, Beta: 0.5, Gamma: 0.5,
-			Delta: 0.5, AllowLoops: true}.Generate(r)
-		if err == nil {
-			g = res.Graph
-		}
-	case "ba":
-		g, err = ba.Config{N: *n, M: *m}.Generate(r)
-	case "config":
-		g, err = configmodel.Config{N: *n, Exponent: *k}.Generate(r)
-	default:
-		return fmt.Errorf("unknown model %q", *model)
+	m, err := model.New(*name, *params)
+	if err != nil {
+		return err
 	}
+	r := rng.New(*seed)
+	g, err := m.Generate(r, nil)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("model %s: %d vertices, %d edges, %d self-loops\n",
-		*model, g.NumVertices(), g.NumEdges(), g.NumSelfLoops())
+	fmt.Printf("model %s(%s): %d vertices, %d edges, %d self-loops\n",
+		m.Name(), m.Params(), g.NumVertices(), g.NumEdges(), g.NumSelfLoops())
 	_, comps := graph.Components(g)
 	fmt.Printf("connected components: %d\n", comps)
 

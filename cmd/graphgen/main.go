@@ -1,92 +1,110 @@
-// Command graphgen generates a random graph from any of the repo's
-// models and writes it as a portable edge list (see graph.WriteEdgeList
-// for the format), so external tooling can consume the exact instances
-// the experiments measure.
+// Command graphgen generates a random graph from any model registered
+// in the model registry (internal/model) and writes it as a portable
+// edge list (see graph.WriteEdgeList for the format), so external
+// tooling can consume the exact instances the experiments measure.
 //
 // Usage:
 //
-//	graphgen -model mori -n 4096 -p 0.5 -m 2 -o mori.edges
-//	graphgen -model kleinberg -l 64 -r 2 -o grid.edges
-//	graphgen -model config -n 10000 -k 2.3 -giant -o overlay.edges
+//	graphgen -model mori -params n=4096,p=0.5,m=2 -o mori.edges
+//	graphgen -model kleinberg -params l=64,r=2 -o grid.edges
+//	graphgen -model config -params n=10000,k=2.3,giant=true -o overlay.edges
+//	graphgen -model fitness -params n=10000,m=2 -seed 7
+//	graphgen -list
+//
+// -params is a comma-separated name=value list validated against the
+// chosen model's parameter table (missing parameters take their
+// defaults); -list prints every registered model with its parameters
+// and defaults. Adding a model to the registry makes it available here
+// with no CLI changes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"scalefree/internal/ba"
-	"scalefree/internal/configmodel"
-	"scalefree/internal/cooperfrieze"
 	"scalefree/internal/graph"
-	"scalefree/internal/kleinberg"
-	"scalefree/internal/mori"
+	"scalefree/internal/model"
 	"scalefree/internal/rng"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		model = flag.String("model", "mori", "model: mori, cf, ba, config, kleinberg")
-		n     = flag.Int("n", 4096, "vertices (mori/cf/ba/config)")
-		p     = flag.Float64("p", 0.5, "mori: preferential mixing")
-		m     = flag.Int("m", 1, "mori merge factor / ba edges per vertex")
-		alpha = flag.Float64("alpha", 0.8, "cf: P(New)")
-		k     = flag.Float64("k", 2.3, "config: power-law exponent")
-		l     = flag.Int("l", 64, "kleinberg: grid side")
-		rr    = flag.Float64("r", 2, "kleinberg: long-range exponent")
-		giant = flag.Bool("giant", false, "config: extract the giant component")
-		seed  = flag.Uint64("seed", 1, "seed")
-		out   = flag.String("o", "", "output file (default stdout)")
-	)
-	flag.Parse()
+// options is the parsed command line, separated from execution so the
+// CLI test covers flag validation and model resolution without
+// exec'ing the binary.
+type options struct {
+	model  string
+	params string
+	seed   uint64
+	out    string
+	list   bool
+}
 
-	r := rng.New(*seed)
-	var g *graph.Graph
-	var err error
-	switch *model {
-	case "mori":
-		g, err = mori.Config{N: *n, M: *m, P: *p}.Generate(r)
-	case "cf":
-		var res *cooperfrieze.Result
-		res, err = cooperfrieze.Config{N: *n, Alpha: *alpha, Beta: 0.5, Gamma: 0.5,
-			Delta: 0.5, AllowLoops: true}.Generate(r)
-		if err == nil {
-			g = res.Graph
-		}
-	case "ba":
-		g, err = ba.Config{N: *n, M: *m}.Generate(r)
-	case "config":
-		cfg := configmodel.Config{N: *n, Exponent: *k}
-		if *giant {
-			g, _, err = cfg.GenerateGiant(r)
-		} else {
-			g, err = cfg.Generate(r)
-		}
-	case "kleinberg":
-		var grid *kleinberg.Grid
-		grid, err = kleinberg.Config{L: *l, R: *rr}.Generate(r)
-		if err == nil {
-			g = grid.Graph
-		}
-	default:
-		return fmt.Errorf("unknown model %q", *model)
+func parseOptions(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	fs.StringVar(&o.model, "model", "mori", "registered model name (see -list)")
+	fs.StringVar(&o.params, "params", "", "comma-separated name=value model parameters (defaults otherwise)")
+	fs.Uint64Var(&o.seed, "seed", 1, "seed")
+	fs.StringVar(&o.out, "o", "", "output file (default stdout)")
+	fs.BoolVar(&o.list, "list", false, "list registered models and their parameters, then exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
+	if o.list && (o.params != "" || o.out != "") {
+		return nil, fmt.Errorf("-list only prints the registry; it takes no -params or -o")
+	}
+	return o, nil
+}
+
+// resolve instantiates the selected model, surfacing unknown names,
+// unknown parameters, and out-of-range values as CLI errors.
+func (o *options) resolve() (model.Model, error) {
+	return model.New(o.model, o.params)
+}
+
+// listModels renders the registry: one line per model, one indented
+// line per parameter, defaults in the same canonical form Params()
+// encodes.
+func listModels(w io.Writer) {
+	for _, f := range model.Families() {
+		fmt.Fprintf(w, "%s — %s\n", f.Name, f.Doc)
+		for _, p := range f.Params {
+			fmt.Fprintf(w, "  %-8s %s (default %s)\n", p.Name, p.Doc, p.DefaultString())
+		}
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	if o.list {
+		listModels(stdout)
+		return nil
+	}
+	m, err := o.resolve()
+	if err != nil {
+		return err
+	}
+	g, err := m.Generate(rng.New(o.seed), nil)
 	if err != nil {
 		return err
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	w := stdout
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
-			return fmt.Errorf("creating %s: %w", *out, err)
+			return fmt.Errorf("creating %s: %w", o.out, err)
 		}
 		defer f.Close()
 		w = f
@@ -94,6 +112,7 @@ func run() error {
 	if err := graph.WriteEdgeList(w, g); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "graphgen: wrote %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Fprintf(stderr, "graphgen: %s(%s): wrote %d vertices, %d edges\n",
+		m.Name(), m.Params(), g.NumVertices(), g.NumEdges())
 	return nil
 }

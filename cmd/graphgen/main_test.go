@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation pins the CLI's rejection of bad model selections
+// and parameter sets, in the cmd/experiments main_test.go style: every
+// diagnostic must name the offending piece so the operator can
+// self-serve from the error alone.
+func TestFlagValidation(t *testing.T) {
+	reject := []struct {
+		name string
+		args []string
+		want string // substring of the diagnostic
+	}{
+		// Unknown model names list the registry.
+		{"unknown model", []string{"-model", "watts-strogatz"}, "unknown model"},
+		{"unknown model lists registry", []string{"-model", "nope"}, "fitness"},
+
+		// Unknown and malformed per-model parameters.
+		{"unknown param", []string{"-model", "mori", "-params", "alpha=0.5"}, "no parameter"},
+		{"unknown param lists table", []string{"-model", "ba", "-params", "p=0.5"}, "n, m"},
+		{"malformed pair", []string{"-model", "mori", "-params", "p"}, "malformed"},
+		{"missing value", []string{"-model", "mori", "-params", "p="}, "malformed"},
+		{"non-numeric float", []string{"-model", "mori", "-params", "p=high"}, "not a number"},
+		{"non-integer int", []string{"-model", "fitness", "-params", "n=lots"}, "not an integer"},
+		{"fractional int", []string{"-model", "ba", "-params", "m=1.5"}, "not an integer"},
+		{"non-boolean bool", []string{"-model", "config", "-params", "giant=perhaps"}, "not a boolean"},
+
+		// Out-of-range values surface the model's own validation.
+		{"mori p out of range", []string{"-model", "mori", "-params", "p=2"}, "out of"},
+		{"mori n too small", []string{"-model", "mori", "-params", "n=1"}, "< 2"},
+		{"fitness eta0 zero", []string{"-model", "fitness", "-params", "eta0=0"}, "out of"},
+		{"fitness eta0 busy-loop", []string{"-model", "fitness", "-params", "eta0=1e-6"}, "floor"},
+		{"geopa r negative", []string{"-model", "geopa", "-params", "r=-0.5"}, "positive"},
+		{"geopa r busy-loop", []string{"-model", "geopa", "-params", "r=0.001"}, "floor"},
+		{"config k too small", []string{"-model", "config", "-params", "k=1"}, "exceed 1"},
+		{"kleinberg l too small", []string{"-model", "kleinberg", "-params", "l=1"}, "< 2"},
+		{"cf alpha zero", []string{"-model", "cf", "-params", "alpha=0"}, "out of"},
+
+		// -list is informational only.
+		{"list with params", []string{"-list", "-params", "n=10"}, "-list"},
+		{"list with output", []string{"-list", "-o", "x.edges"}, "-list"},
+	}
+	for _, tc := range reject {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseOptions(tc.args)
+			if err == nil {
+				_, err = o.resolve()
+			}
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("diagnostic %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	accept := [][]string{
+		{},
+		{"-model", "mori", "-params", "n=128,m=2,p=0.75", "-seed", "9"},
+		{"-model", "cf", "-params", "n=128,alpha=0.6,loops=false"},
+		{"-model", "config", "-params", "n=128,k=2.5,giant=true"},
+		{"-model", "kleinberg", "-params", "l=8,r=2,q=2"},
+		{"-model", "fitness", "-params", "n=128,m=2,eta0=0.3"},
+		{"-model", "geopa", "-params", "n=128,r=0.4"},
+		{"-list"},
+	}
+	for _, args := range accept {
+		o, err := parseOptions(args)
+		if err == nil && !o.list {
+			_, err = o.resolve()
+		}
+		if err != nil {
+			t.Errorf("args %v rejected: %v", args, err)
+		}
+	}
+}
+
+// TestListModels: the registry listing names every model and its
+// parameters (the operator-facing inventory behind -model).
+func TestListModels(t *testing.T) {
+	var sb strings.Builder
+	listModels(&sb)
+	out := sb.String()
+	for _, want := range []string{"mori", "cf", "ba", "config", "kleinberg", "fitness", "geopa", "eta0", "default"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}

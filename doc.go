@@ -13,6 +13,11 @@
 //     against (internal/ba, internal/configmodel);
 //   - Kleinberg's navigable small-world grid and its greedy routing
 //     (internal/kleinberg);
+//   - the Bianconi–Barabási vertex-fitness model and a geometric
+//     (spatial) preferential-attachment model, the two workloads the
+//     paper's closing remark invites (internal/fitness,
+//     internal/geopa), published with every other generator in the
+//     pluggable model registry (internal/model);
 //   - the weak and strong models of local knowledge and a suite of
 //     local search algorithms measured in numbers of oracle requests
 //     (internal/search), plus Sarshar-style percolation search
@@ -22,7 +27,7 @@
 //     probability, and the Lemma-1 bound |V|·P(E)/2
 //     (internal/equivalence, internal/core);
 //   - an experiment harness regenerating every quantitative claim as a
-//     table: experiments E1–E11 declared as trial plans and executed on
+//     table: experiments E1–E13 declared as trial plans and executed on
 //     a deterministic worker pool (internal/experiment,
 //     internal/engine, cmd/experiments, bench_test.go).
 //

@@ -39,6 +39,10 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// numEdges is the exact final edge count: the seed loop plus M edges
+// per later vertex.
+func (c Config) numEdges() int { return 1 + c.M*(c.N-1) }
+
 // Generate draws a BA graph: vertex 1 carries a seed self-loop, and
 // every later vertex t attaches M edges to existing vertices chosen
 // proportionally to total degree (multi-edges allowed, matching the
@@ -48,9 +52,42 @@ func (c Config) Generate(r *rng.RNG) (*graph.Graph, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	b := graph.NewBuilder(c.N, 1+c.M*(c.N-1))
-	ends := weights.NewEndpointArray(2 * (1 + c.M*(c.N-1)))
+	b := graph.NewBuilder(c.N, c.numEdges())
+	c.generate(r, b, weights.NewEndpointArray(2*c.numEdges()))
+	return b.Freeze(), nil
+}
 
+// Scratch holds the reusable buffers of one generation worker: the
+// edge-list builder, its CSR snapshot, and the endpoint array. The
+// zero value is ready to use; after a warm-up generation, repeated
+// same-size GenerateScratch calls allocate nothing.
+type Scratch struct {
+	builder graph.Builder
+	g       graph.Graph
+	ends    weights.EndpointArray
+}
+
+// GenerateScratch is Generate drawing the identical distribution (and,
+// for equal seeds, the identical graph) through s's reusable buffers.
+// The returned graph aliases s and is valid until the next call with
+// the same scratch; callers that outlive the scratch must use
+// Generate.
+func (c Config) GenerateScratch(r *rng.RNG, s *Scratch) (*graph.Graph, error) {
+	if s == nil {
+		return c.Generate(r)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s.builder.Reset(c.N, c.numEdges())
+	s.ends.Reset(2 * c.numEdges())
+	c.generate(r, &s.builder, &s.ends)
+	return s.builder.FreezeInto(&s.g), nil
+}
+
+// generate runs the attachment process into a freshly reset builder
+// and endpoint array.
+func (c Config) generate(r *rng.RNG, b *graph.Builder, ends *weights.EndpointArray) {
 	b.AddVertex()
 	b.AddEdge(1, 1)
 	ends.Record(1)
@@ -74,5 +111,4 @@ func (c Config) Generate(r *rng.RNG) (*graph.Graph, error) {
 			ends.Record(int32(to))
 		}
 	}
-	return b.Freeze(), nil
 }

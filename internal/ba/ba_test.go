@@ -106,6 +106,42 @@ func TestMaxDegreeOrderSqrtN(t *testing.T) {
 	}
 }
 
+func TestGenerateScratchMatchesGenerate(t *testing.T) {
+	cfg := Config{N: 300, M: 2}
+	var s Scratch
+	for seed := uint64(1); seed <= 5; seed++ {
+		want, err := cfg.Generate(rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cfg.GenerateScratch(rng.New(seed), &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.Equal(want, got) {
+			t.Fatalf("seed %d: scratch generation diverges from Generate", seed)
+		}
+	}
+}
+
+// TestGenerateScratchAllocFree pins the steady state of the scratch
+// path: after a warm-up generation, repeated same-size draws perform
+// zero allocations.
+func TestGenerateScratchAllocFree(t *testing.T) {
+	cfg := Config{N: 500, M: 2}
+	var s Scratch
+	r := rng.New(3)
+	gen := func() {
+		if _, err := cfg.GenerateScratch(r, &s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen() // warm up the buffers
+	if allocs := testing.AllocsPerRun(10, gen); allocs > 0 {
+		t.Errorf("steady-state GenerateScratch allocates %v times per graph, want 0", allocs)
+	}
+}
+
 func BenchmarkGenerate(b *testing.B) {
 	r := rng.New(1)
 	cfg := Config{N: 1 << 13, M: 2}

@@ -23,24 +23,28 @@ import (
 	"scalefree/internal/engine"
 	"scalefree/internal/equivalence"
 	"scalefree/internal/graph"
+	"scalefree/internal/model"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
 	"scalefree/internal/search"
 	"scalefree/internal/stats"
 )
 
-// Scratch bundles the reusable buffers of one measurement worker:
-// model-generation scratches, the search oracle's scratch, the
-// per-replication RNGs, and BFS buffers for distance measurements. The
-// zero value is ready to use. One scratch belongs to one worker
-// goroutine; the engine's RunScratch hands each worker its own.
+// Scratch bundles the reusable buffers of one measurement worker: the
+// registry-wide model-generation scratches, the search oracle's
+// scratch, the per-replication RNGs, and BFS buffers for distance
+// measurements. The zero value is ready to use. One scratch belongs to
+// one worker goroutine; the engine's RunScratch hands each worker its
+// own.
 //
 // Scratch is memory reuse only — every measurement is still a pure
 // function of (spec, rep), so scratch-backed and scratch-free paths
 // produce bit-identical outcomes.
 type Scratch struct {
-	Mori   mori.Scratch
-	CF     cooperfrieze.Scratch
+	// Model holds the per-family generation buffers of every
+	// registered graph model (internal/model), so one worker serves
+	// any workload's trials without reallocating.
+	Model  model.Scratch
 	Search search.Scratch
 
 	// Dist and Queue are BFS buffers for distance-based workloads
@@ -74,7 +78,7 @@ type GraphGen func(r *rng.RNG, s *Scratch) (*graph.Graph, error)
 func MoriGen(cfg mori.Config) GraphGen {
 	return func(r *rng.RNG, s *Scratch) (*graph.Graph, error) {
 		if s != nil {
-			return cfg.GenerateScratch(r, &s.Mori)
+			return cfg.GenerateScratch(r, &s.Model.Mori)
 		}
 		return cfg.Generate(r)
 	}
@@ -86,7 +90,7 @@ func CooperFriezeGen(cfg cooperfrieze.Config) GraphGen {
 		var res *cooperfrieze.Result
 		var err error
 		if s != nil {
-			res, err = cfg.GenerateScratch(r, &s.CF)
+			res, err = cfg.GenerateScratch(r, &s.Model.CF)
 		} else {
 			res, err = cfg.Generate(r)
 		}
@@ -94,6 +98,18 @@ func CooperFriezeGen(cfg cooperfrieze.Config) GraphGen {
 			return nil, err
 		}
 		return res.Graph, nil
+	}
+}
+
+// ModelGen adapts any registry model instance (internal/model) to a
+// GraphGen: the measurement paths accept every registered model
+// through the worker scratch's model buffers.
+func ModelGen(m model.Model) GraphGen {
+	return func(r *rng.RNG, s *Scratch) (*graph.Graph, error) {
+		if s != nil {
+			return m.Generate(r, &s.Model)
+		}
+		return m.Generate(r, nil)
 	}
 }
 

@@ -42,72 +42,79 @@ func startSweepCoordinator(t *testing.T, selected []Experiment, cfg Config, opts
 // coordinator-driven sweep in which a worker dies mid-run — its chunk
 // leased, partially executed, never delivered — renders tables
 // byte-identical to the single-process -workers 1 run, and the only
-// re-executed trials are the dead worker's unpersisted chunk.
+// re-executed trials are the dead worker's unpersisted chunk. E4
+// exercises the historical plans; E12 and E13 extend the same
+// guarantee to the registry-driven model batteries.
 func TestGoldenCoordinatorKillReassign(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are not short")
 	}
-	exp, _ := ByID("E4")
-	cfg := Config{Seed: 2024, Scale: 0.05}
-	plan, err := exp.Plan(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	total := len(plan.Trials)
-	if total < 6 {
-		t.Fatalf("E4 plan too small to kill meaningfully: %d trials", total)
-	}
+	for _, id := range []string{"E4", "E12", "E13"} {
+		t.Run(id, func(t *testing.T) {
+			exp, _ := ByID(id)
+			cfg := Config{Seed: 2024, Scale: 0.05}
+			plan, err := exp.Plan(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := len(plan.Trials)
+			if total < 6 {
+				t.Fatalf("%s plan too small to kill meaningfully: %d trials", id, total)
+			}
 
-	serial, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	golden := renderAll(t, serial)
+			serial, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := renderAll(t, serial)
 
-	const chunkSize = 2
-	addr, outcome := startSweepCoordinator(t, []Experiment{exp}, cfg,
-		sweep.CoordOptions{ChunkSize: chunkSize, LeaseTTL: time.Minute, Linger: time.Second})
+			const chunkSize = 2
+			addr, outcome := startSweepCoordinator(t, []Experiment{exp}, cfg,
+				sweep.CoordOptions{ChunkSize: chunkSize, LeaseTTL: time.Minute, Linger: time.Second})
 
-	// The doomed worker: executes its first chunk, then its context is
-	// cancelled before any result is streamed — the process equivalent
-	// of a kill -9 between computation and delivery. Its connection
-	// drop revokes the lease immediately.
-	dieCtx, die := context.WithCancel(context.Background())
-	defer die()
-	deadExecuted := 0
-	deadOpts := engine.Options{Workers: 1, Progress: func(p engine.Progress) {
-		deadExecuted++
-		if deadExecuted == chunkSize {
-			die()
-		}
-	}}
-	_, err = SweepWorker(dieCtx, []Experiment{exp}, cfg, addr, deadOpts, nil, sweep.WorkerOptions{Name: "doomed"})
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("doomed worker: err = %v, want context.Canceled", err)
-	}
-	if deadExecuted != chunkSize {
-		t.Fatalf("doomed worker executed %d trials, want %d", deadExecuted, chunkSize)
-	}
+			// The doomed worker: executes its first chunk, then its
+			// context is cancelled before any result is streamed — the
+			// process equivalent of a kill -9 between computation and
+			// delivery. Its connection drop revokes the lease
+			// immediately.
+			dieCtx, die := context.WithCancel(context.Background())
+			defer die()
+			deadExecuted := 0
+			deadOpts := engine.Options{Workers: 1, Progress: func(p engine.Progress) {
+				deadExecuted++
+				if deadExecuted == chunkSize {
+					die()
+				}
+			}}
+			_, err = SweepWorker(dieCtx, []Experiment{exp}, cfg, addr, deadOpts, nil, sweep.WorkerOptions{Name: "doomed"})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("doomed worker: err = %v, want context.Canceled", err)
+			}
+			if deadExecuted != chunkSize {
+				t.Fatalf("doomed worker executed %d trials, want %d", deadExecuted, chunkSize)
+			}
 
-	// The surviving worker steals the forfeited chunk and finishes the
-	// sweep.
-	stats, err := SweepWorker(context.Background(), []Experiment{exp}, cfg, addr,
-		engine.Options{Workers: 2}, nil, sweep.WorkerOptions{Name: "survivor"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	out := <-outcome
-	if out.err != nil {
-		t.Fatal(out.err)
-	}
-	if got := renderAll(t, out.tables[0]); got != golden {
-		t.Errorf("coordinated output diverges from single-process run:\n--- coordinated ---\n%s\n--- single ---\n%s", got, golden)
-	}
-	// The survivor runs every trial exactly once — total work across
-	// both workers exceeds the plan by exactly the dead worker's
-	// undelivered chunk, never more.
-	if stats.Executed != total {
-		t.Errorf("survivor executed %d trials, want %d (stolen chunk re-runs, nothing else repeats)", stats.Executed, total)
+			// The surviving worker steals the forfeited chunk and
+			// finishes the sweep.
+			stats, err := SweepWorker(context.Background(), []Experiment{exp}, cfg, addr,
+				engine.Options{Workers: 2}, nil, sweep.WorkerOptions{Name: "survivor"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := <-outcome
+			if out.err != nil {
+				t.Fatal(out.err)
+			}
+			if got := renderAll(t, out.tables[0]); got != golden {
+				t.Errorf("coordinated output diverges from single-process run:\n--- coordinated ---\n%s\n--- single ---\n%s", got, golden)
+			}
+			// The survivor runs every trial exactly once — total work
+			// across both workers exceeds the plan by exactly the dead
+			// worker's undelivered chunk, never more.
+			if stats.Executed != total {
+				t.Errorf("survivor executed %d trials, want %d (stolen chunk re-runs, nothing else repeats)", stats.Executed, total)
+			}
+		})
 	}
 }
 

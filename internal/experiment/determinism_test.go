@@ -29,13 +29,14 @@ func renderAll(t *testing.T, tables []Table) string {
 // byte-identical to -workers 1. E5 exercises per-replication trials,
 // E4 Monte-Carlo trials with per-trial RNGs, E7 shared-nothing
 // generation trials, E3 the RNG-consuming Monte-Carlo bound trials,
-// and E8 a reduce that joins samples across cells (Welch test).
+// E8 a reduce that joins samples across cells (Welch test), and
+// E12/E13 the registry-driven model batteries.
 func TestWorkersOutputInvariance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment runs are not short")
 	}
 	cfg := Config{Seed: 2024, Scale: 0.05}
-	for _, id := range []string{"E3", "E4", "E5", "E7", "E8"} {
+	for _, id := range []string{"E3", "E4", "E5", "E7", "E8", "E12", "E13"} {
 		t.Run(id, func(t *testing.T) {
 			exp, ok := ByID(id)
 			if !ok {

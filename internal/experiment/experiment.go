@@ -1,6 +1,6 @@
 // Package experiment is the harness that regenerates every quantitative
 // claim of the paper (and of the related work it leans on) as a table:
-// experiments E1–E11 of DESIGN.md, each with its workload generator,
+// experiments E1–E13 of DESIGN.md, each with its workload generator,
 // parameter sweep, baselines, and a renderer for the rows reported in
 // EXPERIMENTS.md.
 //
@@ -191,6 +191,8 @@ func Registry() []Experiment {
 		{ID: "E9", Title: "Kleinberg navigability: greedy routing r-sweep vs Móri id-greedy", Plan: PlanE9},
 		{ID: "E10", Title: "Sarshar et al.: percolation search replication/broadcast sweep", Plan: PlanE10},
 		{ID: "E11", Title: "Extension: non-searchability of uniform attachment (p = 0)", Plan: PlanE11},
+		{ID: "E12", Title: "Extension: non-searchability of the Bianconi–Barabási fitness model", Plan: PlanE12},
+		{ID: "E13", Title: "Extension: non-searchability of geometric preferential attachment", Plan: PlanE13},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// Numeric ID ordering: E2 before E10.

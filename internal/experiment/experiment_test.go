@@ -56,8 +56,8 @@ func TestFormatFloat(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 11 {
-		t.Fatalf("registry has %d experiments, want 11", len(reg))
+	if len(reg) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(reg))
 	}
 	for i, e := range reg {
 		if want := i + 1; idNum(e.ID) != want {

@@ -63,6 +63,18 @@ type DistanceResult struct {
 	Diam     int
 }
 
+// ModelStructResult is one E12/E13 structure cell: degree statistics
+// of one registry-generated graph (a zero Alpha means the power-law
+// tail fit was unavailable at this size).
+type ModelStructResult struct {
+	N      int
+	MaxDeg int
+	MaxIn  int
+	Alpha  float64
+	StdErr float64
+	Xmin   int
+}
+
 func init() {
 	// Shared scalar and core types.
 	sweep.RegisterResult[float64]("float64")
@@ -75,4 +87,5 @@ func init() {
 	sweep.RegisterResult[PercolationCellResult]("experiment.PercolationCellResult")
 	sweep.RegisterResult[PowerLawFitResult]("experiment.PowerLawFitResult")
 	sweep.RegisterResult[DistanceResult]("experiment.DistanceResult")
+	sweep.RegisterResult[ModelStructResult]("experiment.ModelStructResult")
 }

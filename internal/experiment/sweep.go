@@ -65,7 +65,7 @@ func moriScratch(s *core.Scratch) *mori.Scratch {
 	if s == nil {
 		return nil
 	}
-	return &s.Mori
+	return &s.Model.Mori
 }
 
 // cfScratch projects a worker scratch onto its Cooper–Frieze
@@ -74,5 +74,5 @@ func cfScratch(s *core.Scratch) *cooperfrieze.Scratch {
 	if s == nil {
 		return nil
 	}
-	return &s.CF
+	return &s.Model.CF
 }

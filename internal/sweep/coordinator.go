@@ -68,9 +68,15 @@ func (o CoordOptions) withDefaults() CoordOptions {
 // result lands at its plan index before any reduction, the assembled
 // slices are exactly what a single-process run produces.
 //
-// A worker FAIL (trial error or worker-side plan mismatch) aborts the
-// sweep, mirroring the engine's first-error-cancels semantics.
-// Cancellation of ctx likewise aborts. lis is closed on return.
+// A worker FAIL (trial execution error) re-leases the failed chunk
+// once — preferring a different worker, so one faulty host does not
+// kill a fleet-wide sweep — and aborts the sweep on the chunk's
+// second failure, mirroring the engine's first-error-cancels
+// semantics one retry later; the failing worker keeps serving other
+// chunks, so even a lone worker drives its own retry to the abort. A
+// worker REFUSE (plan mismatch, codec failure — systematic, never
+// chunk-local) aborts immediately. Cancellation of ctx likewise
+// aborts. lis is closed on return.
 func Coordinate(ctx context.Context, lis net.Listener, jobs []CoordJob, opts CoordOptions) ([]map[int]any, error) {
 	opts = opts.withDefaults()
 	st, err := newCoordState(jobs, opts)
@@ -135,17 +141,21 @@ type coordState struct {
 	opts      CoordOptions
 	connSeq   uint64
 	conns     map[uint64]net.Conn
+	// chunkFailed records chunks that already burned their one retry
+	// (see failChunk).
+	chunkFailed map[chunk]bool
 }
 
 func newCoordState(jobs []CoordJob, opts CoordOptions) (*coordState, error) {
 	st := &coordState{
-		jobs:    jobs,
-		byExp:   make(map[string]int, len(jobs)),
-		results: make([]map[int]any, len(jobs)),
-		encoded: make([]map[int]string, len(jobs)),
-		done:    make(chan struct{}),
-		opts:    opts,
-		conns:   map[uint64]net.Conn{},
+		jobs:        jobs,
+		byExp:       make(map[string]int, len(jobs)),
+		results:     make([]map[int]any, len(jobs)),
+		encoded:     make([]map[int]string, len(jobs)),
+		done:        make(chan struct{}),
+		opts:        opts,
+		conns:       map[uint64]net.Conn{},
+		chunkFailed: map[chunk]bool{},
 	}
 	for j, job := range jobs {
 		if job.Job.ExpID == "" || job.Job.Fingerprint == "" {
@@ -173,10 +183,31 @@ func newCoordState(jobs []CoordJob, opts CoordOptions) (*coordState, error) {
 	return st, nil
 }
 
-// fail records the first failure and releases Coordinate.
+// fail records the first failure and releases Coordinate. A failure
+// reported after the sweep already finished successfully is ignored:
+// every trial holds a content-verified result by then, so a
+// straggler's FAIL/REFUSE (e.g. the live holder of a stolen chunk
+// erroring during the linger window) cannot invalidate the outcome.
 func (st *coordState) fail(err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.finished {
+		return
+	}
+	st.failLocked(err)
+}
+
+// failNow is fail without the finished-success exemption — for result
+// integrity errors (a determinism violation, a malformed delivery),
+// which cast doubt on results already accepted and must surface even
+// when the last trial has reported.
+func (st *coordState) failNow(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.failLocked(err)
+}
+
+func (st *coordState) failLocked(err error) {
 	if st.failure == nil {
 		st.failure = err
 	}
@@ -212,6 +243,10 @@ func (st *coordState) finishLine() string {
 func (st *coordState) chunkCovered(c chunk) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.chunkCoveredLocked(c)
+}
+
+func (st *coordState) chunkCoveredLocked(c chunk) bool {
 	m := st.results[c.JobIdx]
 	for i := c.Lo; i < c.Hi; i++ {
 		if _, ok := m[i]; !ok {
@@ -295,7 +330,7 @@ func (st *coordState) handle(conn net.Conn) {
 				return
 			}
 			if err := st.acceptResult(worker, m); err != nil {
-				st.fail(err)
+				st.failNow(err)
 				wc.send("ERR " + quoteMsg(err.Error()))
 				return
 			}
@@ -327,8 +362,27 @@ func (st *coordState) handle(conn net.Conn) {
 				return
 			}
 			msg := unquoteMsg(fields[1:])
+			if c, ok := st.leases.Complete(id); ok {
+				st.failChunk(worker, c, msg)
+			}
+			// A FAIL on an already-revoked lease is ignored: the chunk
+			// was stolen and its fate belongs to its current owner —
+			// if the error is deterministic, that owner's FAIL (on a
+			// live lease) drives the retry accounting.
+			if err := wc.send("OK"); err != nil {
+				return
+			}
+		case "REFUSE":
+			// This worker cannot run the sweep at all (plan mismatch,
+			// codec failure) — systematic, never chunk-local, so abort
+			// immediately rather than burning chunk retries.
+			id, err := parseID(fields)
+			if err != nil {
+				wc.send("ERR " + quoteMsg(err.Error()))
+				return
+			}
 			st.leases.Complete(id)
-			st.fail(fmt.Errorf("sweep: worker %s: %s", worker, msg))
+			st.fail(fmt.Errorf("sweep: worker %s: %s", worker, unquoteMsg(fields[1:])))
 			if err := wc.send("OK"); err != nil {
 				return
 			}
@@ -370,6 +424,40 @@ func (st *coordState) serveNext(wc *wireConn, worker string, connID uint64) erro
 		wait = 5 * time.Millisecond
 	}
 	return wc.send(fmt.Sprintf("WAIT %d", wait.Milliseconds()))
+}
+
+// failChunk handles a worker's FAIL for a live lease's chunk. The
+// first failure re-leases the chunk once, preferring a different
+// worker — one retry distinguishes a host-local fault (OOM kill, disk
+// error, bad deploy on one machine) from a deterministic trial error
+// without masking the latter. A second failure of the same chunk, by
+// any worker, aborts the sweep, mirroring the engine's
+// first-error-cancels semantics one retry later.
+func (st *coordState) failChunk(worker string, c chunk, msg string) {
+	// One critical section for coverage, the retry flip, and the
+	// requeue: results land under the same lock (acceptResult), so a
+	// chunk whose last result races the FAIL can neither be requeued
+	// for pointless re-execution nor burn its retry budget.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.chunkCoveredLocked(c) {
+		// Every trial of the chunk already holds a content-verified
+		// result (a presumed-dead worker delivered late, the thief
+		// then failed): the failure concerns work nobody needs —
+		// neither a retry nor an abort. Mirrors the COMPLETE
+		// handler's coverage backstop.
+		return
+	}
+	if !st.chunkFailed[c] {
+		st.chunkFailed[c] = true
+		st.leases.RequeueAvoiding(c, worker)
+		return
+	}
+	if st.finished {
+		return
+	}
+	st.failLocked(fmt.Errorf("sweep: worker %s: %s (%s trials [%d,%d) already failed once and were re-leased)",
+		worker, msg, st.jobs[c.JobIdx].Job.ExpID, c.Lo, c.Hi))
 }
 
 // acceptResult records one delivered trial result. Results are valid

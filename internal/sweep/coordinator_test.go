@@ -101,6 +101,50 @@ func TestLeaseTableLifecycle(t *testing.T) {
 	}
 }
 
+// TestLeaseTableAvoidPreference: a chunk requeued after a worker's
+// FAIL is withheld from that worker for one TTL — any other worker
+// takes it immediately, and after the hold expires the failer itself
+// gets it back (liveness for lone workers, without letting an idle
+// faulty host outrace healthy-but-busy ones).
+func TestLeaseTableAvoidPreference(t *testing.T) {
+	clock := time.Unix(9000, 0)
+	c1, c2 := chunk{0, 0, 4}, chunk{0, 4, 8}
+	lt := newLeaseTable(nil, 10*time.Second)
+	lt.now = func() time.Time { return clock }
+	lt.RequeueAvoiding(c1, "w1")
+	lt.Requeue(c2)
+
+	// w1 skips its own failed chunk while an alternative is pending.
+	l, ok := lt.Acquire("w1", 1)
+	if !ok || l.Chunk != c2 {
+		t.Fatalf("w1 acquired %+v, %v; want the non-avoided chunk %v", l.Chunk, ok, c2)
+	}
+	// With only its own failed chunk pending and the hold still live,
+	// w1 waits instead of taking the retry back.
+	if l, ok := lt.Acquire("w1", 1); ok {
+		t.Fatalf("w1 acquired withheld chunk %+v", l.Chunk)
+	}
+	// A different worker takes the failed chunk without ceremony.
+	l, ok = lt.Acquire("w2", 2)
+	if !ok || l.Chunk != c1 {
+		t.Fatalf("w2 acquired %+v, %v; want the avoided chunk %v", l.Chunk, ok, c1)
+	}
+
+	// Liveness: once the hold expires, a lone failer gets its chunk
+	// back and can drive the retry to the second-failure verdict.
+	lt2 := newLeaseTable(nil, 10*time.Second)
+	lt2.now = func() time.Time { return clock }
+	lt2.RequeueAvoiding(c1, "w1")
+	if l, ok := lt2.Acquire("w1", 1); ok {
+		t.Fatalf("w1 acquired withheld chunk %+v before the hold expired", l.Chunk)
+	}
+	clock = clock.Add(11 * time.Second)
+	l, ok = lt2.Acquire("w1", 1)
+	if !ok || l.Chunk != c1 {
+		t.Fatalf("lone w1 acquired %+v, %v after the hold; want %v", l.Chunk, ok, c1)
+	}
+}
+
 func TestWireMessages(t *testing.T) {
 	lm := leaseMsg{ID: 7, ExpID: "E4", Fingerprint: "abc123", Lo: 8, Hi: 16}
 	verb, fields := splitMsg(formatLease(lm))
@@ -265,14 +309,14 @@ type deadWorker struct {
 	wc *wireConn
 }
 
-func dialDeadWorker(t *testing.T, addr string) *deadWorker {
+func dialDeadWorker(t *testing.T, addr, name string) *deadWorker {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wc := newWireConn(conn)
-	if err := wc.send("HELLO " + protoVersion + " doomed"); err != nil {
+	if err := wc.send("HELLO " + protoVersion + " " + name); err != nil {
 		t.Fatal(err)
 	}
 	if line, err := wc.recv(); err != nil || !strings.HasPrefix(line, "OK") {
@@ -312,7 +356,7 @@ func TestCoordinateWorkerDisconnectReassigns(t *testing.T) {
 		CoordOptions{ChunkSize: 6, LeaseTTL: time.Minute}) // TTL far longer than the test: only the EOF path can reassign
 	defer cancel()
 
-	dead := dialDeadWorker(t, addr)
+	dead := dialDeadWorker(t, addr, "doomed")
 	m := dead.takeLease()
 	if m.Hi-m.Lo != 6 {
 		t.Fatalf("lease %+v, want a 6-trial chunk", m)
@@ -346,7 +390,7 @@ func TestCoordinateLeaseExpiryStealsChunk(t *testing.T) {
 		CoordOptions{ChunkSize: 4, LeaseTTL: 150 * time.Millisecond, Linger: 100 * time.Millisecond})
 	defer cancel()
 
-	hung := dialDeadWorker(t, addr)
+	hung := dialDeadWorker(t, addr, "hung")
 	defer hung.wc.close()
 	m := hung.takeLease() // never pinged, never completed
 
@@ -379,7 +423,7 @@ func TestCoordinateLateDuplicateAccepted(t *testing.T) {
 			OnResult: func(worker, expID string, tr engine.Trial) { completions.Add(1) }})
 	defer cancel()
 
-	slow := dialDeadWorker(t, addr)
+	slow := dialDeadWorker(t, addr, "slow")
 	defer slow.wc.close()
 	m := slow.takeLease()
 	time.Sleep(250 * time.Millisecond) // lease expires; chunk becomes stealable
@@ -434,7 +478,7 @@ func TestCoordinatePartialCompleteRequeues(t *testing.T) {
 
 	// A buggy worker: takes the first chunk, delivers only half of it,
 	// then claims COMPLETE and disconnects.
-	buggy := dialDeadWorker(t, addr)
+	buggy := dialDeadWorker(t, addr, "buggy")
 	m := buggy.takeLease()
 	for i := m.Lo; i < m.Lo+2; i++ {
 		payload, err := EncodeResult(float64(trials[i].Seed) * 1.5)
@@ -466,7 +510,7 @@ func TestCoordinatePartialCompleteRequeues(t *testing.T) {
 	checkResults(t, trials, out.results)
 }
 
-// TestCoordinateAbortReachesIdleWorkers: when one worker's failure
+// TestCoordinateAbortReachesIdleWorkers: when a chunk's second failure
 // aborts the sweep, a worker that contributed nothing to the failure
 // must also exit with an error — not report success for a failed
 // sweep.
@@ -478,15 +522,19 @@ func TestCoordinateAbortReachesIdleWorkers(t *testing.T) {
 		CoordOptions{ChunkSize: 4, LeaseTTL: time.Minute, Linger: time.Second})
 	defer cancel()
 
-	// The doomed worker takes the only chunk, so the innocent worker
-	// that joins next idles in the WAIT/NEXT poll loop.
-	w := dialDeadWorker(t, addr)
+	// The first doomed worker takes the only chunk, so the bystander
+	// worker that joins next idles in the WAIT/NEXT poll loop. The
+	// bystander shares the failer's name, so after the FAIL below the
+	// avoidance hold (one TTL = a minute here) deterministically keeps
+	// it waiting instead of letting it race doomed2 for the re-queued
+	// chunk.
+	w := dialDeadWorker(t, addr, "doomed")
 	defer w.wc.close()
 	m := w.takeLease()
 	innocent := make(chan error, 1)
 	go func() {
 		_, err := RunWorker(context.Background(), addr,
-			countingResolver(job, trials, new(atomic.Int64)), WorkerOptions{Name: "innocent"})
+			countingResolver(job, trials, new(atomic.Int64)), WorkerOptions{Name: "doomed"})
 		innocent <- err
 	}()
 	time.Sleep(100 * time.Millisecond) // let it connect and start polling
@@ -497,6 +545,17 @@ func TestCoordinateAbortReachesIdleWorkers(t *testing.T) {
 	if line, err := w.wc.recv(); err != nil || line != "OK" {
 		t.Fatalf("FAIL reply = %q, %v", line, err)
 	}
+	// First failure re-leases instead of aborting; a second doomed
+	// worker burns the retry and aborts the sweep.
+	w2 := dialDeadWorker(t, addr, "doomed2")
+	defer w2.wc.close()
+	m2 := w2.takeLease()
+	if err := w2.wc.send(fmt.Sprintf("FAIL %d %s", m2.ID, quoteMsg("trial exploded"))); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := w2.wc.recv(); err != nil || line != "OK" {
+		t.Fatalf("second FAIL reply = %q, %v", line, err)
+	}
 
 	// The idle worker's next poll sees ABORT, not DONE: it must exit
 	// with the sweep's failure, not report success.
@@ -506,6 +565,215 @@ func TestCoordinateAbortReachesIdleWorkers(t *testing.T) {
 	out := <-outcome
 	if out.err == nil || !strings.Contains(out.err.Error(), "trial exploded") {
 		t.Fatalf("coordinator err = %v", out.err)
+	}
+}
+
+// TestCoordinateLateFailureAfterSuccess: once the sweep has finished
+// with every trial's result in hand, a straggler's FAIL or REFUSE
+// (e.g. the live holder of a stolen chunk erroring during the linger
+// window) must not flip the outcome to an error — the result set is
+// complete and content-verified.
+func TestCoordinateLateFailureAfterSuccess(t *testing.T) {
+	trials := makeTrials(4)
+	job := testJob(trials)
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		CoordOptions{ChunkSize: 4, LeaseTTL: 150 * time.Millisecond, Linger: time.Second})
+	defer cancel()
+
+	// The slow worker takes the only chunk and lets its lease expire.
+	slow := dialDeadWorker(t, addr, "slow")
+	defer slow.wc.close()
+	m := slow.takeLease()
+	time.Sleep(250 * time.Millisecond)
+
+	// The thief takes the stolen chunk but the slow worker delivers
+	// everything first: the sweep completes successfully.
+	thief := dialDeadWorker(t, addr, "thief")
+	defer thief.wc.close()
+	m2 := thief.takeLease()
+	if m2.Lo != m.Lo || m2.Hi != m.Hi {
+		t.Fatalf("thief leased %+v, want the stolen chunk %+v", m2, m)
+	}
+	for i := m.Lo; i < m.Hi; i++ {
+		payload, err := EncodeResult(float64(trials[i].Seed) * 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := slow.wc.buffer(formatResult(m.ID, job.ExpID, trials[i].Index, payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := slow.wc.send(fmt.Sprintf("COMPLETE %d", m.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := slow.wc.recv(); err != nil || line != "GONE" {
+		t.Fatalf("late COMPLETE reply = %q, %v; want GONE", line, err)
+	}
+
+	// Now the thief fails its (pointless) lease. The sweep is already
+	// done; the failure must be ignored on the coordinator side.
+	if err := thief.wc.send(fmt.Sprintf("REFUSE %d %s", m2.ID, quoteMsg("too late to matter"))); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := thief.wc.recv(); err != nil || line != "OK" {
+		t.Fatalf("late REFUSE reply = %q, %v", line, err)
+	}
+
+	out := <-outcome
+	if out.err != nil {
+		t.Fatalf("late failure flipped a completed sweep to error: %v", out.err)
+	}
+	checkResults(t, trials, out.results)
+}
+
+// TestCoordinateFailOnCoveredChunkIgnored: a FAIL for a chunk whose
+// trials all hold results already (delivered late by the presumed-dead
+// original holder) must neither requeue the chunk — that would
+// guarantee duplicate re-execution — nor count toward its abort
+// budget.
+func TestCoordinateFailOnCoveredChunkIgnored(t *testing.T) {
+	trials := makeTrials(8)
+	job := testJob(trials)
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		CoordOptions{ChunkSize: 4, LeaseTTL: 150 * time.Millisecond, Linger: time.Second})
+	defer cancel()
+
+	// The slow worker takes the first chunk and lets the lease expire;
+	// the thief re-leases it.
+	slow := dialDeadWorker(t, addr, "slow")
+	defer slow.wc.close()
+	m := slow.takeLease()
+	time.Sleep(250 * time.Millisecond)
+	thief := dialDeadWorker(t, addr, "thief")
+	defer thief.wc.close()
+	// The reclaimed chunk lands behind the never-leased one in the
+	// queue, so the thief drains leases until it holds the stolen one
+	// (its other lease is left to expire for the healthy worker).
+	m2 := thief.takeLease()
+	if m2.Lo != m.Lo || m2.Hi != m.Hi {
+		m2 = thief.takeLease()
+	}
+	if m2.Lo != m.Lo || m2.Hi != m.Hi {
+		t.Fatalf("thief leased %+v, want the stolen chunk %+v", m2, m)
+	}
+
+	// The slow worker delivers the whole chunk late — accepted by
+	// content address — and then the thief's execution fails.
+	for i := m.Lo; i < m.Hi; i++ {
+		payload, err := EncodeResult(float64(trials[i].Seed) * 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := slow.wc.buffer(formatResult(m.ID, job.ExpID, trials[i].Index, payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := slow.wc.send(fmt.Sprintf("COMPLETE %d", m.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := slow.wc.recv(); err != nil || line != "GONE" {
+		t.Fatalf("late COMPLETE reply = %q, %v; want GONE", line, err)
+	}
+	if err := thief.wc.send(fmt.Sprintf("FAIL %d %s", m2.ID, quoteMsg("host fault on covered work"))); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := thief.wc.recv(); err != nil || line != "OK" {
+		t.Fatalf("FAIL reply = %q, %v", line, err)
+	}
+
+	// A healthy worker finishes the sweep: only the second chunk's 4
+	// trials execute — the covered chunk was not requeued.
+	var executed atomic.Int64
+	if _, err := RunWorker(context.Background(), addr, countingResolver(job, trials, &executed),
+		WorkerOptions{Name: "healthy"}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-outcome
+	if out.err != nil {
+		t.Fatalf("sweep aborted on a covered chunk's failure: %v", out.err)
+	}
+	checkResults(t, trials, out.results)
+	if executed.Load() != 4 {
+		t.Errorf("executed %d trials, want 4 (the covered chunk must not re-run)", executed.Load())
+	}
+}
+
+// TestWorkerHeartbeatLossIsFatalNotChunkFail: a connection loss during
+// chunk execution is a transport fault, not a trial fault — the worker
+// exits with the heartbeat cause and records no local chunk failure,
+// leaving the chunk's retry budget untouched (the coordinator's
+// disconnect reclaim requeues it).
+func TestWorkerHeartbeatLossIsFatalNotChunkFail(t *testing.T) {
+	trials := makeTrials(4)
+	job := testJob(trials)
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		CoordOptions{ChunkSize: 4, LeaseTTL: 200 * time.Millisecond, Linger: 10 * time.Millisecond})
+	defer cancel()
+
+	resolver := func(expID, fingerprint string) (*WorkerJob, error) {
+		return &WorkerJob{
+			Trials: trials,
+			Execute: func(ctx context.Context, sub []engine.Trial) (map[int]any, Stats, error) {
+				// Kill the coordinator mid-execution; once its linger
+				// passes it closes the connection, the heartbeat errors,
+				// and the execution context is cancelled with the
+				// transport cause.
+				cancel()
+				<-ctx.Done()
+				return nil, Stats{}, ctx.Err()
+			},
+		}, nil
+	}
+	_, err := RunWorker(context.Background(), addr, resolver,
+		WorkerOptions{Name: "w", Heartbeat: 30 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "heartbeat connection to coordinator lost") {
+		t.Fatalf("worker err = %v, want the heartbeat transport cause", err)
+	}
+	if strings.Contains(err.Error(), "failed") {
+		t.Fatalf("worker err %v misreports a transport loss as a chunk failure", err)
+	}
+	<-outcome // the cancelled coordinator's error is not under test
+}
+
+// TestCoordinateLateNondeterminismStillAborts: unlike a straggler's
+// FAIL/REFUSE (ignored once the sweep has finished), a byte-mismatched
+// duplicate arriving after completion must still abort — it proves a
+// worker computed divergent results, casting doubt on everything it
+// delivered first earlier in the sweep.
+func TestCoordinateLateNondeterminismStillAborts(t *testing.T) {
+	trials := makeTrials(4)
+	job := testJob(trials)
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		CoordOptions{ChunkSize: 4, LeaseTTL: 100 * time.Millisecond, Linger: time.Second})
+	defer cancel()
+
+	slow := dialDeadWorker(t, addr, "slow")
+	defer slow.wc.close()
+	m := slow.takeLease()
+	time.Sleep(200 * time.Millisecond) // lease expires; chunk becomes stealable
+
+	// The live worker completes the whole sweep.
+	if _, err := RunWorker(context.Background(), addr,
+		countingResolver(job, trials, new(atomic.Int64)), WorkerOptions{Name: "live"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The slow worker wakes up and delivers a divergent encoding for a
+	// trial that already has a result.
+	bad, err := EncodeResult(999.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.wc.send(formatResult(m.ID, job.ExpID, trials[0].Index, bad)); err != nil {
+		t.Fatal(err)
+	}
+	out := <-outcome
+	if out.err == nil || !strings.Contains(out.err.Error(), "not deterministic") {
+		t.Fatalf("coordinator err = %v, want the determinism violation even after completion", out.err)
 	}
 }
 
@@ -520,7 +788,7 @@ func TestCoordinateDetectsNondeterminism(t *testing.T) {
 		CoordOptions{ChunkSize: 4, LeaseTTL: time.Minute, Linger: 50 * time.Millisecond})
 	defer cancel()
 
-	w := dialDeadWorker(t, addr)
+	w := dialDeadWorker(t, addr, "doomed")
 	defer w.wc.close()
 	m := w.takeLease()
 	good, _ := EncodeResult(float64(trials[0].Seed) * 1.5)
@@ -537,36 +805,135 @@ func TestCoordinateDetectsNondeterminism(t *testing.T) {
 	}
 }
 
-// TestCoordinateWorkerFailAborts: a trial error on any worker aborts
-// the whole sweep, mirroring the engine's first-error semantics.
+// TestCoordinateWorkerFailAborts: a deterministic trial error still
+// kills the sweep with a single worker — the worker reports the
+// chunk's failure, keeps serving, takes its own retry back once the
+// avoidance hold (one TTL) expires, fails it again, and the second
+// failure aborts. No operator intervention, no hang.
 func TestCoordinateWorkerFailAborts(t *testing.T) {
 	trials := makeTrials(10)
 	job := testJob(trials)
 	addr, outcome, cancel := startCoordinator(t,
 		[]CoordJob{{Job: job, Trials: trials}},
-		CoordOptions{ChunkSize: 5, LeaseTTL: time.Minute, Linger: 50 * time.Millisecond})
+		CoordOptions{ChunkSize: 10, LeaseTTL: 200 * time.Millisecond, Linger: 50 * time.Millisecond})
 	defer cancel()
 
+	attempts := 0
 	resolver := func(expID, fingerprint string) (*WorkerJob, error) {
 		return &WorkerJob{
 			Trials: trials,
 			Execute: func(ctx context.Context, sub []engine.Trial) (map[int]any, Stats, error) {
+				attempts++
 				return nil, Stats{}, fmt.Errorf("disk on fire")
 			},
 		}, nil
 	}
-	if _, err := RunWorker(context.Background(), addr, resolver, WorkerOptions{Name: "broken"}); err == nil {
-		t.Fatal("failing worker returned nil error")
+	if _, err := RunWorker(context.Background(), addr, resolver, WorkerOptions{Name: "broken"}); err == nil ||
+		!strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("failing worker err = %v, want the abort cause", err)
+	}
+	if attempts != 2 {
+		t.Errorf("chunk executed %d times, want 2 (original + one retry)", attempts)
 	}
 	out := <-outcome
-	if out.err == nil || !strings.Contains(out.err.Error(), "disk on fire") {
-		t.Fatalf("coordinator err = %v, want the worker's failure", out.err)
+	if out.err == nil || !strings.Contains(out.err.Error(), "disk on fire") ||
+		!strings.Contains(out.err.Error(), "already failed once") {
+		t.Fatalf("coordinator err = %v, want the worker's failure after the burned retry", out.err)
+	}
+}
+
+// TestWorkerContinuesAfterChunkFailure: a transient, host-local fault
+// (first execution attempt fails, later ones succeed) costs one chunk
+// retry: the worker reports FAIL, keeps serving the remaining chunks,
+// takes the failed chunk back, completes it, and the sweep converges —
+// while the worker itself exits nonzero so the flaky host is visible.
+func TestWorkerContinuesAfterChunkFailure(t *testing.T) {
+	trials := makeTrials(12)
+	job := testJob(trials)
+	// The short TTL lets the lone worker reclaim its failed chunk
+	// quickly once the avoidance hold lapses.
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		CoordOptions{ChunkSize: 4, LeaseTTL: 200 * time.Millisecond, Linger: time.Second})
+	defer cancel()
+
+	var executed atomic.Int64
+	failedOnce := false
+	resolver := func(expID, fingerprint string) (*WorkerJob, error) {
+		return &WorkerJob{
+			Trials: trials,
+			Execute: func(ctx context.Context, sub []engine.Trial) (map[int]any, Stats, error) {
+				if !failedOnce {
+					failedOnce = true
+					return nil, Stats{}, fmt.Errorf("transient host fault")
+				}
+				return Execute(ctx, job, sub, engine.Options{Workers: 2}, nil, noScratch,
+					func(ctx context.Context, tr engine.Trial, r *rng.RNG, s struct{}) (any, error) {
+						executed.Add(1)
+						return trialFn(ctx, tr, r, s)
+					})
+			},
+		}, nil
+	}
+	_, err := RunWorker(context.Background(), addr, resolver, WorkerOptions{Name: "flaky"})
+	if err == nil || !strings.Contains(err.Error(), "failed 1 chunk") {
+		t.Fatalf("flaky worker err = %v, want a completed-with-local-failures report", err)
+	}
+	out := <-outcome
+	if out.err != nil {
+		t.Fatalf("sweep aborted despite the successful retry: %v", out.err)
+	}
+	checkResults(t, trials, out.results)
+	if executed.Load() != 12 {
+		t.Errorf("executed %d trials, want 12 (the failed attempt ran none)", executed.Load())
+	}
+}
+
+// TestCoordinateFailRetryDifferentWorker: one worker's trial failure
+// does not abort the sweep — the chunk is re-leased, lands on the
+// healthy worker (Acquire avoids the failer), and the sweep completes
+// with every result intact.
+func TestCoordinateFailRetryDifferentWorker(t *testing.T) {
+	trials := makeTrials(8)
+	job := testJob(trials)
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		CoordOptions{ChunkSize: 4, LeaseTTL: time.Minute, Linger: time.Second})
+	defer cancel()
+
+	// The flaky worker takes the first chunk and reports a failure.
+	flaky := dialDeadWorker(t, addr, "flaky")
+	defer flaky.wc.close()
+	m := flaky.takeLease()
+	if err := flaky.wc.send(fmt.Sprintf("FAIL %d %s", m.ID, quoteMsg("transient host fault"))); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := flaky.wc.recv(); err != nil || line != "OK" {
+		t.Fatalf("FAIL reply = %q, %v", line, err)
+	}
+
+	// The healthy worker finishes the sweep, including the re-leased
+	// chunk, and the coordinator converges without an abort.
+	var executed atomic.Int64
+	stats, err := RunWorker(context.Background(), addr, countingResolver(job, trials, &executed),
+		WorkerOptions{Name: "healthy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := <-outcome
+	if out.err != nil {
+		t.Fatalf("sweep aborted despite the retry: %v", out.err)
+	}
+	checkResults(t, trials, out.results)
+	if stats.Executed != 8 || executed.Load() != 8 {
+		t.Errorf("healthy worker executed %d trials (stats %+v), want all 8", executed.Load(), stats)
 	}
 }
 
 // TestCoordinateMisconfiguredWorkerAborts: a worker planned under a
-// different config cannot resolve the fingerprint; the mismatch
-// aborts the sweep instead of wasting the TTL per chunk.
+// different config cannot resolve the fingerprint; the REFUSE aborts
+// the sweep immediately — configuration skew is systematic, so it
+// burns no chunk retries and wastes no TTLs.
 func TestCoordinateMisconfiguredWorkerAborts(t *testing.T) {
 	trials := makeTrials(6)
 	job := testJob(trials)

@@ -37,6 +37,22 @@ type leaseTable struct {
 	nextID  uint64
 	ttl     time.Duration
 	now     func() time.Time
+	// avoid maps a chunk requeued after a worker's FAIL to the failing
+	// worker and a hold deadline: until the deadline passes, Acquire
+	// refuses to hand the chunk back to its failer, so a host-local
+	// fault is retried on a different host whenever one frees up
+	// within a TTL. After the deadline anyone may take it — the time
+	// gate, not a connection census, provides lone-worker liveness
+	// (a zombie connection that never asks for work cannot starve the
+	// retry).
+	avoid map[chunk]avoidEntry
+}
+
+// avoidEntry records who failed a chunk and until when the chunk is
+// withheld from them.
+type avoidEntry struct {
+	worker string
+	until  time.Time
 }
 
 func newLeaseTable(chunks []chunk, ttl time.Duration) *leaseTable {
@@ -60,8 +76,28 @@ func (lt *leaseTable) Acquire(worker string, connID uint64) (lease, bool) {
 	if len(lt.pending) == 0 {
 		return lease{}, false
 	}
-	c := lt.pending[0]
-	lt.pending = lt.pending[1:]
+	// Take the first chunk this worker may have: one it did not fail,
+	// or one whose avoidance hold has expired (a healthy worker had a
+	// full TTL to steal the retry; past that, liveness beats
+	// preference — a lone worker must still drive its own retry to
+	// the second-failure abort).
+	now := lt.now()
+	pick := -1
+	for i, c := range lt.pending {
+		if a, held := lt.avoid[c]; held && a.worker == worker && now.Before(a.until) {
+			continue
+		}
+		pick = i
+		break
+	}
+	if pick == -1 {
+		// Everything pending is withheld from this worker for now;
+		// poll again (WAIT) — another worker will take it, or the
+		// hold expires.
+		return lease{}, false
+	}
+	c := lt.pending[pick]
+	lt.pending = append(lt.pending[:pick], lt.pending[pick+1:]...)
 	lt.nextID++
 	l := &lease{ID: lt.nextID, Chunk: c, Worker: worker, ConnID: connID, Deadline: lt.now().Add(lt.ttl)}
 	lt.active[l.ID] = l
@@ -121,6 +157,19 @@ func (lt *leaseTable) Complete(id uint64) (chunk, bool) {
 func (lt *leaseTable) Requeue(c chunk) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
+	lt.pending = append(lt.pending, c)
+}
+
+// RequeueAvoiding returns a failed chunk to the pending queue,
+// withholding it from the failing worker for one TTL so the retry
+// lands on a different host whenever one frees up in time.
+func (lt *leaseTable) RequeueAvoiding(c chunk, worker string) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.avoid == nil {
+		lt.avoid = map[chunk]avoidEntry{}
+	}
+	lt.avoid[c] = avoidEntry{worker: worker, until: lt.now().Add(lt.ttl)}
 	lt.pending = append(lt.pending, c)
 }
 

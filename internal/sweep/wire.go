@@ -18,12 +18,13 @@ import (
 //
 // Client (worker) lines:
 //
-//	HELLO SFCOORD1 <name>                     open the session
+//	HELLO SFCOORD2 <name>                     open the session
 //	NEXT                                      request a chunk lease
 //	PING <leaseID>                            heartbeat while executing
 //	RESULT <leaseID> <expID> <trialIdx> <hex> one trial's encoded result
 //	COMPLETE <leaseID>                        all of the lease's results sent
-//	FAIL <leaseID> <quoted-msg>               the chunk cannot be executed
+//	FAIL <leaseID> <quoted-msg>               the chunk's execution failed (retriable: the chunk is re-leased once)
+//	REFUSE <leaseID> <quoted-msg>             this worker cannot run the sweep at all (plan mismatch, codec failure — aborts immediately)
 //
 // Server (coordinator) lines:
 //
@@ -35,15 +36,19 @@ import (
 //	GONE                              the lease was revoked (PING/COMPLETE)
 //	ERR <quoted-msg>                  protocol failure; connection closes
 //
-// Exchange discipline: HELLO, NEXT, PING, COMPLETE and FAIL are
-// request/response (exactly one reply line each); RESULT lines are
+// Exchange discipline: HELLO, NEXT, PING, COMPLETE, FAIL and REFUSE
+// are request/response (exactly one reply line each); RESULT lines are
 // fire-and-forget so a worker streams a chunk's results without a
 // round trip per trial — the COMPLETE that follows them is the
 // synchronization point. Results are valid even when their lease was
 // revoked: trials are pure and content-addressed, so the coordinator
 // accepts the value and resolves the duplicate by comparing encoded
 // bytes.
-const protoVersion = "SFCOORD1"
+// SFCOORD1 → SFCOORD2: REFUSE was added and FAIL became retriable
+// (re-lease once) instead of abort-the-sweep; mixed-version fleets
+// must die at the handshake, not hang on an unknown verb or retry a
+// systematic failure.
+const protoVersion = "SFCOORD2"
 
 // wireMaxLine bounds one protocol line. Encoded trial results are
 // small (tens of bytes of struct fields, doubled by hex), so 1 MiB is
@@ -195,7 +200,7 @@ func unquoteMsg(fields []string) string {
 	return joined
 }
 
-// parseID parses the lease-id field shared by PING/COMPLETE/FAIL.
+// parseID parses the lease-id field shared by PING/COMPLETE/FAIL/REFUSE.
 func parseID(fields []string) (uint64, error) {
 	if len(fields) < 1 {
 		return 0, fmt.Errorf("sweep: missing lease id")

@@ -51,6 +51,15 @@ type WorkerOptions struct {
 // abandoned without error — the thief delivers the results. The
 // returned stats aggregate what this worker executed and what its
 // local cache satisfied.
+//
+// A chunk whose execution fails is reported to the coordinator as
+// FAIL (which re-leases it once, see Coordinate) and the worker keeps
+// pulling further chunks — the retry needs a live worker to land on,
+// and with a single worker that is this one. If the sweep still
+// completes, RunWorker returns a non-nil error recording the local
+// failures so the host shows up unhealthy; a resolver error (plan
+// mismatch — this worker cannot run the sweep at all) is reported as
+// REFUSE, which aborts the sweep immediately on both sides.
 func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts WorkerOptions) (Stats, error) {
 	var stats Stats
 	var d net.Dialer
@@ -90,6 +99,7 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 		heartbeat = 3 * time.Second
 	}
 
+	var failed []*chunkFailure
 	for {
 		if err := ctx.Err(); err != nil {
 			return stats, err
@@ -104,6 +114,13 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 		verb, fields := splitMsg(line)
 		switch verb {
 		case "DONE":
+			if len(failed) > 0 {
+				// The sweep converged (retries landed elsewhere, or a
+				// later attempt here succeeded), but this host failed
+				// chunks — exit nonzero so the machine gets looked at.
+				return stats, fmt.Errorf("sweep: completed, but this worker failed %d chunk(s) locally (first: %v)",
+					len(failed), failed[0])
+			}
 			return stats, nil
 		case "ABORT":
 			// The sweep failed elsewhere (another worker's trial error
@@ -132,6 +149,15 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 			stats.Executed += chunkStats.Executed
 			stats.CacheHits += chunkStats.CacheHits
 			if err != nil {
+				var cf *chunkFailure
+				if errors.As(err, &cf) {
+					// The chunk's failure went to the coordinator as
+					// FAIL; keep serving — the sweep continues until
+					// the chunk's second failure, and the re-lease
+					// needs a live worker.
+					failed = append(failed, cf)
+					continue
+				}
 				return stats, err
 			}
 		case "ERR":
@@ -142,18 +168,48 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 	}
 }
 
+// transportError marks a heartbeat send/recv failure: the connection
+// to the coordinator is gone, which is fatal to this worker but must
+// not be reported — or counted — as a chunk failure. The
+// coordinator's disconnect/TTL reclaim requeues the chunk without
+// debiting its one-retry budget; a network blip is not a trial fault.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// chunkFailure is the worker-local record of one chunk whose
+// execution failed: already reported to the coordinator as a
+// retriable FAIL, and kept distinct from fatal errors so RunWorker
+// continues serving other chunks.
+type chunkFailure struct {
+	expID  string
+	lo, hi int
+	err    error
+}
+
+func (c *chunkFailure) Error() string {
+	return fmt.Sprintf("sweep: executing %s trials [%d,%d): %v", c.expID, c.lo, c.hi, c.err)
+}
+
+func (c *chunkFailure) Unwrap() error { return c.err }
+
 // runLease executes one leased chunk and streams its results. A
 // revoked lease (stolen chunk) is not an error: the work is abandoned
-// and the caller polls for the next chunk.
+// and the caller polls for the next chunk. An execution failure comes
+// back as a *chunkFailure (reported to the coordinator as FAIL,
+// retriable); every other error is fatal to this worker.
 func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobResolver, heartbeat time.Duration, logf func(string, ...any)) (Stats, error) {
 	job, err := resolve(m.ExpID, m.Fingerprint)
 	if err == nil && m.Hi > len(job.Trials) {
 		err = fmt.Errorf("lease range [%d,%d) exceeds local plan of %d trials", m.Lo, m.Hi, len(job.Trials))
 	}
 	if err != nil {
-		// The coordinator must learn this worker cannot participate;
-		// a silent exit would look like a death and waste a TTL.
-		sendFail(wc, m.ID, err)
+		// The coordinator must learn this worker cannot participate
+		// at all — a plan mismatch is systematic, never chunk-local,
+		// so REFUSE aborts the sweep instead of burning retries (a
+		// silent exit would look like a death and waste a TTL).
+		sendFail(wc, "REFUSE", m.ID, err)
 		return Stats{}, fmt.Errorf("sweep: lease for %s: %w", m.ExpID, err)
 	}
 	trials := job.Trials[m.Lo:m.Hi]
@@ -172,8 +228,19 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 		if ctx.Err() != nil {
 			return stats, ctx.Err()
 		}
-		sendFail(wc, m.ID, err)
-		return stats, fmt.Errorf("sweep: executing %s trials [%d,%d): %w", m.ExpID, m.Lo, m.Hi, err)
+		var te *transportError
+		if errors.As(err, &te) {
+			// The connection broke mid-chunk: worker-fatal, but not a
+			// chunk failure — the coordinator's disconnect/TTL reclaim
+			// requeues the work without touching its retry budget, and
+			// a FAIL could not be delivered anyway.
+			return stats, fmt.Errorf("sweep: lease %d: heartbeat connection to coordinator lost: %w", m.ID, te.Unwrap())
+		}
+		sendFail(wc, "FAIL", m.ID, err)
+		if logf != nil {
+			logf("lease %d: %s trials [%d,%d) failed: %v", m.ID, m.ExpID, m.Lo, m.Hi, err)
+		}
+		return stats, &chunkFailure{expID: m.ExpID, lo: m.Lo, hi: m.Hi, err: err}
 	}
 
 	// Stream the chunk's results in index order (determinism of the
@@ -188,7 +255,9 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 	for _, i := range idxs {
 		payload, err := EncodeResult(results[i])
 		if err != nil {
-			sendFail(wc, m.ID, err)
+			// An unencodable result is a binary-level bug (unregistered
+			// type), identical on every worker — abort, don't retry.
+			sendFail(wc, "REFUSE", m.ID, err)
 			return stats, fmt.Errorf("sweep: encoding %s trial %d: %w", m.ExpID, i, err)
 		}
 		if err := wc.buffer(formatResult(m.ID, m.ExpID, i, payload)); err != nil {
@@ -234,12 +303,12 @@ func executeWithHeartbeat(ctx context.Context, wc *wireConn, leaseID uint64, job
 				return
 			case <-ticker.C:
 				if err := wc.send(fmt.Sprintf("PING %d", leaseID)); err != nil {
-					cancel(err)
+					cancel(&transportError{err: err})
 					return
 				}
 				line, err := wc.recv()
 				if err != nil {
-					cancel(err)
+					cancel(&transportError{err: err})
 					return
 				}
 				if verb, _ := splitMsg(line); verb == "GONE" {
@@ -263,8 +332,11 @@ func executeWithHeartbeat(ctx context.Context, wc *wireConn, leaseID uint64, job
 	return results, stats, err
 }
 
-func sendFail(wc *wireConn, leaseID uint64, failure error) {
-	if err := wc.send(fmt.Sprintf("FAIL %d %s", leaseID, quoteMsg(failure.Error()))); err != nil {
+// sendFail reports a failure under the given verb: "FAIL" (chunk
+// execution failed; the coordinator re-leases it once) or "REFUSE"
+// (this worker cannot run the sweep; the coordinator aborts).
+func sendFail(wc *wireConn, verb string, leaseID uint64, failure error) {
+	if err := wc.send(fmt.Sprintf("%s %d %s", verb, leaseID, quoteMsg(failure.Error()))); err != nil {
 		return
 	}
 	wc.recv() // the OK acknowledgement; errors are moot at this point
