@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"scalefree/internal/experiment"
 	"scalefree/internal/fitness"
 	"scalefree/internal/geopa"
+	"scalefree/internal/graph"
 	"scalefree/internal/model"
 	"scalefree/internal/mori"
 	"scalefree/internal/rng"
@@ -353,6 +355,119 @@ func BenchmarkAblationMergeFactor(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBFSParallel measures the frontier-parallel BFS (DESIGN.md
+// §8) against the serial baseline on a single giant-component Móri
+// graph: same dist output (byte-identical by construction), per-op time
+// is one full-graph traversal. The acceptance target is >= 3× for
+// workers=8 over workers=1 on a machine with >= 8 cores; workers=1
+// takes the serial inline path, so it doubles as the baseline.
+// -short drops to a smoke size for CI.
+func BenchmarkBFSParallel(b *testing.B) {
+	n := 1 << 22
+	if testing.Short() {
+		n = 1 << 16
+	}
+	cfg := mori.Config{N: n, M: 2, P: 0.5}
+	g, err := cfg.Generate(rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dist := make([]int32, g.NumVertices()+1)
+	b.Run(fmt.Sprintf("serial/n=%d", n), func(b *testing.B) {
+		queue := make([]graph.Vertex, 0, n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			graph.BFSInto(g, 1, dist, queue)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d/n=%d", workers, n), func(b *testing.B) {
+			var s graph.BFSScratch
+			graph.BFSParallelInto(g, 1, dist, workers, &s) // warm the scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.BFSParallelInto(g, 1, dist, workers, &s)
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotOpen is the snapshot format's reason to exist in
+// numbers: opening a frozen binary CSR snapshot (header validation +
+// mmap, O(1) in the graph size) versus re-parsing the equivalent text
+// edge list (O(m) with integer parsing and CSR reconstruction). The
+// acceptance target at 2^24 edges is >= 100×. The write half is also
+// benchmarked so BENCH_gen.json records the freeze cost a pipeline
+// pays once per graph. -short drops to a smoke size for CI.
+func BenchmarkSnapshotOpen(b *testing.B) {
+	n := 1 << 22 // m = 4·n = 2^24 edges
+	if testing.Short() {
+		n = 1 << 14
+	}
+	cfg := mori.Config{N: n, M: 4, P: 0.5}
+	g, err := cfg.Generate(rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	snapPath := filepath.Join(dir, "g.csr")
+	edgePath := filepath.Join(dir, "g.edges")
+	if err := graph.WriteSnapshotFile(snapPath, g); err != nil {
+		b.Fatal(err)
+	}
+	ef, err := os.Create(edgePath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(ef, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := ef.Close(); err != nil {
+		b.Fatal(err)
+	}
+	m := g.NumEdges()
+
+	b.Run(fmt.Sprintf("open-snapshot/m=%d", m), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap, err := graph.OpenSnapshot(snapPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if snap.Graph().NumEdges() != m {
+				b.Fatal("wrong edge count")
+			}
+			snap.Close()
+		}
+	})
+	b.Run(fmt.Sprintf("read-edgelist/m=%d", m), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(edgePath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parsed, err := graph.ReadEdgeList(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if parsed.NumEdges() != m {
+				b.Fatal("wrong edge count")
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("write-snapshot/m=%d", m), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := graph.WriteSnapshotFile(snapPath, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkShardMerge measures the distribution layer's reassembly

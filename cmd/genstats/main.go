@@ -1,14 +1,18 @@
-// Command genstats generates one graph from any model registered in
-// the model registry (internal/model) and prints its structural
-// statistics: degree distribution with power-law fit, maximum degree,
-// distances, and connectivity.
+// Command genstats measures the structural statistics of one graph —
+// degree distribution with power-law fit, maximum degree, distances,
+// and connectivity — for either a freshly generated instance of any
+// registered model (internal/model) or a frozen binary CSR snapshot
+// served zero-copy via mmap (graphgen -snapshot), which is how the
+// n=10^8 giant-graph tables are produced without ever re-parsing a
+// multi-gigabyte edge list.
 //
 // Usage:
 //
 //	genstats -model mori -params n=16384,p=0.5,m=1 [-seed 1]
 //	genstats -model cf -params n=16384,alpha=0.8
 //	genstats -model fitness -params n=16384,m=2,eta0=0.1
-//	genstats -model geopa -params n=16384,r=0.25
+//	genstats -snapshot mori.csr -threads 16
+//	genstats -snapshot mori.csr -verify
 //
 // -params is a comma-separated name=value list validated against the
 // chosen model's parameter table (missing parameters take their
@@ -17,6 +21,15 @@
 // n=4096, where the pre-registry CLI defaulted to 16384 — so pass
 // -params n=… when comparing against older baselines. Adding a model
 // to the registry makes it available here with no CLI changes.
+//
+// -snapshot bypasses generation and mmaps the given snapshot file;
+// -seed then only drives the distance-sampling sources. -verify runs
+// the full O(n+m) structural validation before measuring (for
+// snapshots from untrusted sources). -threads sets how many goroutines
+// the within-trial passes use: frontier-parallel BFS for distances,
+// partitioned component labelling, and partitioned degree
+// histogram/maximum accumulation (0 = all cores). Every statistic is
+// byte-identical across thread counts.
 package main
 
 import (
@@ -24,6 +37,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"time"
 
 	"scalefree/internal/graph"
 	"scalefree/internal/model"
@@ -40,32 +55,78 @@ func main() {
 
 func run() error {
 	var (
-		name   = flag.String("model", "mori", "registered model name (see graphgen -list)")
-		params = flag.String("params", "", "comma-separated name=value model parameters (defaults otherwise)")
-		seed   = flag.Uint64("seed", 1, "seed")
+		name     = flag.String("model", "mori", "registered model name (see graphgen -list)")
+		params   = flag.String("params", "", "comma-separated name=value model parameters (defaults otherwise)")
+		seed     = flag.Uint64("seed", 1, "seed (drives generation and distance-sampling sources)")
+		snapshot = flag.String("snapshot", "", "measure this binary CSR snapshot (mmap, zero-copy) instead of generating")
+		verify   = flag.Bool("verify", false, "with -snapshot: run the full structural validation before measuring")
+		threads  = flag.Int("threads", 0, "goroutines for the parallel passes (0 = all cores)")
 	)
 	flag.Parse()
-
-	m, err := model.New(*name, *params)
-	if err != nil {
-		return err
+	if *verify && *snapshot == "" {
+		return fmt.Errorf("-verify only applies to -snapshot runs")
 	}
+	if *threads < 0 {
+		return fmt.Errorf("-threads %d is negative", *threads)
+	}
+	workers := *threads
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	r := rng.New(*seed)
-	g, err := m.Generate(r, nil)
-	if err != nil {
-		return err
+	var g *graph.Graph
+	if *snapshot != "" {
+		start := time.Now()
+		snap, err := graph.OpenSnapshot(*snapshot)
+		if err != nil {
+			return err
+		}
+		defer snap.Close()
+		if *verify {
+			if err := snap.Validate(); err != nil {
+				return err
+			}
+		}
+		g = snap.Graph()
+		fmt.Printf("snapshot %s: %d vertices, %d edges, %d self-loops (opened in %v)\n",
+			*snapshot, g.NumVertices(), g.NumEdges(), g.NumSelfLoops(), time.Since(start).Round(time.Microsecond))
+	} else {
+		m, err := model.New(*name, *params)
+		if err != nil {
+			return err
+		}
+		g, err = m.Generate(r, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model %s(%s): %d vertices, %d edges, %d self-loops\n",
+			m.Name(), m.Params(), g.NumVertices(), g.NumEdges(), g.NumSelfLoops())
 	}
+	return printStats(g, workers, r)
+}
 
-	fmt.Printf("model %s(%s): %d vertices, %d edges, %d self-loops\n",
-		m.Name(), m.Params(), g.NumVertices(), g.NumEdges(), g.NumSelfLoops())
-	_, comps := graph.Components(g)
+// printStats runs the measurement battery: every pass uses the
+// partitioned/parallel accumulators, whose outputs are identical to
+// the serial ones for any worker count.
+func printStats(g *graph.Graph, workers int, r *rng.RNG) error {
+	n := g.NumVertices()
+	if n == 0 {
+		fmt.Println("empty graph")
+		return nil
+	}
+	var par graph.BFSScratch
+
+	labels := make([]int32, n+1)
+	comps := graph.ComponentsParallelInto(g, labels, workers, &par)
 	fmt.Printf("connected components: %d\n", comps)
 
-	degs := g.Degrees()[1:]
+	degs := g.AppendDegrees(make([]int, 0, n))
 	sum := stats.Summarize(stats.IntsToFloats(degs))
-	fmt.Printf("degree: mean %.2f  median %.0f  max %d\n", sum.Mean, sum.Median, g.MaxDegree())
-	fmt.Printf("max indegree: %d (n^%.3f)\n", g.MaxInDegree(),
-		math.Log(float64(g.MaxInDegree()))/math.Log(float64(g.NumVertices())))
+	fmt.Printf("degree: mean %.2f  median %.0f  max %d\n", sum.Mean, sum.Median, g.MaxDegreeParallel(workers))
+	maxIn := g.MaxInDegreeParallel(workers)
+	fmt.Printf("max indegree: %d (n^%.3f)\n", maxIn,
+		math.Log(float64(maxIn))/math.Log(float64(n)))
 
 	if fit, err := stats.FitPowerLawAuto(degs, 50); err == nil {
 		fmt.Printf("power-law tail fit: alpha %.3f ± %.3f (xmin %d, %d tail points, KS %.3f)\n",
@@ -74,22 +135,29 @@ func run() error {
 		fmt.Printf("power-law tail fit unavailable: %v\n", err)
 	}
 
+	dist := make([]int32, n+1)
 	if comps == 1 {
 		sources := make([]graph.Vertex, 8)
 		for i := range sources {
-			sources[i] = graph.Vertex(r.IntRange(1, g.NumVertices()))
+			sources[i] = graph.Vertex(r.IntRange(1, n))
 		}
-		mean := graph.AverageDistanceSampled(g, sources)
-		diam := graph.DoubleSweepLowerBound(g, sources[0])
+		mean := graph.AverageDistanceSampledParallelInto(g, sources, dist, workers, &par)
+		diam := graph.DoubleSweepLowerBoundParallelInto(g, sources[0], dist, workers, &par)
 		fmt.Printf("mean distance %.2f (%.2f·ln n), diameter >= %d\n",
-			mean, mean/math.Log(float64(g.NumVertices())), diam)
+			mean, mean/math.Log(float64(n)), diam)
 	} else {
-		sub, _ := graph.LargestComponent(g)
+		sizes := graph.ComponentSizesFrom(g, labels, comps)
+		giant := 0
+		for _, s := range sizes {
+			if s > giant {
+				giant = s
+			}
+		}
 		fmt.Printf("giant component: %d vertices (%.1f%%)\n",
-			sub.NumVertices(), 100*float64(sub.NumVertices())/float64(g.NumVertices()))
+			giant, 100*float64(giant)/float64(n))
 	}
 
-	ccdf := stats.HistogramOf(degs).CCDF()
+	ccdf := stats.HistogramOfParallel(degs, workers).CCDF()
 	fmt.Println("degree CCDF (value: fraction >= value):")
 	step := len(ccdf)/10 + 1
 	for i := 0; i < len(ccdf); i += step {

@@ -1,7 +1,10 @@
 // Command graphgen generates a random graph from any model registered
 // in the model registry (internal/model) and writes it as a portable
-// edge list (see graph.WriteEdgeList for the format), so external
-// tooling can consume the exact instances the experiments measure.
+// edge list (see graph.WriteEdgeList for the format) and/or a binary
+// CSR snapshot (see internal/graph snapshot format, DESIGN.md §8), so
+// external tooling can consume the exact instances the experiments
+// measure and genstats can measure giant graphs without re-parsing
+// them.
 //
 // Usage:
 //
@@ -9,6 +12,7 @@
 //	graphgen -model kleinberg -params l=64,r=2 -o grid.edges
 //	graphgen -model config -params n=10000,k=2.3,giant=true -o overlay.edges
 //	graphgen -model fitness -params n=10000,m=2 -seed 7
+//	graphgen -model mori -params n=100000000,m=1 -snapshot mori.csr -threads 8
 //	graphgen -list
 //
 // -params is a comma-separated name=value list validated against the
@@ -16,6 +20,15 @@
 // defaults); -list prints every registered model with its parameters
 // and defaults. Adding a model to the registry makes it available here
 // with no CLI changes.
+//
+// -snapshot freezes the generated graph straight into a binary CSR
+// snapshot that graph.OpenSnapshot (and genstats -snapshot) serves
+// back via mmap without parsing — the generate→freeze→measure pipeline
+// never holds two graph copies. -threads bounds the process's CPU use
+// (GOMAXPROCS); generation itself is inherently sequential for the
+// evolving models, so the flag mostly matters when graphgen is one
+// stage of a pipeline sharing a machine. Generation throughput
+// (edges/sec) is reported on stderr for BENCH bookkeeping.
 package main
 
 import (
@@ -23,6 +36,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"scalefree/internal/graph"
 	"scalefree/internal/model"
@@ -40,11 +55,13 @@ func main() {
 // CLI test covers flag validation and model resolution without
 // exec'ing the binary.
 type options struct {
-	model  string
-	params string
-	seed   uint64
-	out    string
-	list   bool
+	model    string
+	params   string
+	seed     uint64
+	out      string
+	snapshot string
+	threads  int
+	list     bool
 }
 
 func parseOptions(args []string) (*options, error) {
@@ -53,13 +70,18 @@ func parseOptions(args []string) (*options, error) {
 	fs.StringVar(&o.model, "model", "mori", "registered model name (see -list)")
 	fs.StringVar(&o.params, "params", "", "comma-separated name=value model parameters (defaults otherwise)")
 	fs.Uint64Var(&o.seed, "seed", 1, "seed")
-	fs.StringVar(&o.out, "o", "", "output file (default stdout)")
+	fs.StringVar(&o.out, "o", "", "text edge-list output file (default stdout unless -snapshot is given)")
+	fs.StringVar(&o.snapshot, "snapshot", "", "binary CSR snapshot output file (mmap-able by genstats -snapshot)")
+	fs.IntVar(&o.threads, "threads", 0, "GOMAXPROCS for this run (0 = all cores)")
 	fs.BoolVar(&o.list, "list", false, "list registered models and their parameters, then exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if o.list && (o.params != "" || o.out != "") {
-		return nil, fmt.Errorf("-list only prints the registry; it takes no -params or -o")
+	if o.list && (o.params != "" || o.out != "" || o.snapshot != "") {
+		return nil, fmt.Errorf("-list only prints the registry; it takes no -params, -o, or -snapshot")
+	}
+	if o.threads < 0 {
+		return nil, fmt.Errorf("-threads %d is negative", o.threads)
 	}
 	return o, nil
 }
@@ -91,28 +113,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 		listModels(stdout)
 		return nil
 	}
+	if o.threads > 0 {
+		runtime.GOMAXPROCS(o.threads)
+	}
 	m, err := o.resolve()
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	g, err := m.Generate(rng.New(o.seed), nil)
 	if err != nil {
 		return err
 	}
+	genTime := time.Since(start)
 
-	w := stdout
-	if o.out != "" {
-		f, err := os.Create(o.out)
-		if err != nil {
-			return fmt.Errorf("creating %s: %w", o.out, err)
+	if o.snapshot != "" {
+		if err := graph.WriteSnapshotFile(o.snapshot, g); err != nil {
+			return err
 		}
-		defer f.Close()
-		w = f
 	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
-		return err
+	// The text edge list goes to -o when asked for, to stdout only when
+	// no snapshot was requested — a giant-graph run should not dump
+	// hundreds of millions of text lines nobody asked for.
+	if o.out != "" || o.snapshot == "" {
+		w := stdout
+		if o.out != "" {
+			f, err := os.Create(o.out)
+			if err != nil {
+				return fmt.Errorf("creating %s: %w", o.out, err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := graph.WriteEdgeList(w, g); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(stderr, "graphgen: %s(%s): wrote %d vertices, %d edges\n",
-		m.Name(), m.Params(), g.NumVertices(), g.NumEdges())
+	eps := float64(g.NumEdges()) / genTime.Seconds()
+	fmt.Fprintf(stderr, "graphgen: %s(%s): wrote %d vertices, %d edges (generated in %v, %.3g edges/sec)\n",
+		m.Name(), m.Params(), g.NumVertices(), g.NumEdges(), genTime.Round(time.Millisecond), eps)
 	return nil
 }

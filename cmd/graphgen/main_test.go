@@ -1,8 +1,13 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"scalefree/internal/graph"
+	"scalefree/internal/model"
+	"scalefree/internal/rng"
 )
 
 // TestFlagValidation pins the CLI's rejection of bad model selections
@@ -43,6 +48,10 @@ func TestFlagValidation(t *testing.T) {
 		// -list is informational only.
 		{"list with params", []string{"-list", "-params", "n=10"}, "-list"},
 		{"list with output", []string{"-list", "-o", "x.edges"}, "-list"},
+		{"list with snapshot", []string{"-list", "-snapshot", "x.csr"}, "-list"},
+
+		// Thread counts must be sane.
+		{"negative threads", []string{"-threads", "-2"}, "negative"},
 	}
 	for _, tc := range reject {
 		t.Run(tc.name, func(t *testing.T) {
@@ -77,6 +86,45 @@ func TestFlagValidation(t *testing.T) {
 		if err != nil {
 			t.Errorf("args %v rejected: %v", args, err)
 		}
+	}
+}
+
+// TestSnapshotOutput runs the CLI end to end with -snapshot: the
+// written file must open via mmap and reproduce exactly the graph the
+// model generates for the same seed, and with no -o the text edge list
+// must not leak to stdout.
+func TestSnapshotOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.csr")
+	var stdout, stderr strings.Builder
+	args := []string{"-model", "mori", "-params", "n=256,m=2,p=0.5", "-seed", "11", "-snapshot", path}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("snapshot-only run wrote %d bytes of text to stdout", stdout.Len())
+	}
+	if !strings.Contains(stderr.String(), "edges/sec") {
+		t.Errorf("stderr report lacks throughput: %q", stderr.String())
+	}
+
+	snap, err := graph.OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.New("mori", "n=256,m=2,p=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Generate(rng.New(11), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(want, snap.Graph()) {
+		t.Error("snapshot graph differs from direct generation at the same seed")
 	}
 }
 

@@ -52,6 +52,17 @@ type Scratch struct {
 	Dist  []int32
 	Queue []graph.Vertex
 
+	// Par is the frontier-parallel traversal scratch
+	// (graph.BFSParallelInto / graph.ComponentsParallelInto) for
+	// giant-graph passes. Engine trials should keep their traversals
+	// serial — the engine already saturates the cores across trials —
+	// but process-wide callers (the CLIs, a future serving tier) run
+	// one huge graph at a time and want every core inside the pass.
+	Par graph.BFSScratch
+
+	// Degs is the reused degree-sample buffer behind DegreesOf.
+	Degs []int
+
 	genRNG, searchRNG rng.RNG
 }
 
@@ -67,6 +78,18 @@ func (s *Scratch) BFSBuffers(n int) ([]int32, []graph.Vertex) {
 	s.Queue = buf.Grow(s.Queue, n)[:0]
 	return s.Dist, s.Queue
 }
+
+// DegreesOf returns the undirected degree sample of g (vertices 1..n,
+// the slice Degrees()[1:] would give) in the scratch's reused buffer.
+// The result is only valid until the scratch's next DegreesOf call.
+func (s *Scratch) DegreesOf(g *graph.Graph) []int {
+	s.Degs = g.AppendDegrees(s.Degs[:0])
+	return s.Degs
+}
+
+// ParScratch returns the scratch's frontier-parallel traversal state
+// for graph.BFSParallelInto-family calls.
+func (s *Scratch) ParScratch() *graph.BFSScratch { return &s.Par }
 
 // GraphGen produces a fresh random graph for one replication. The
 // scratch argument may be nil (generate with fresh allocations); when

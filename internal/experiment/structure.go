@@ -117,8 +117,11 @@ func PlanE6(cfg Config) (*Plan, error) {
 	n := cfg.scaleInt(1<<15, 2048)
 	b := newPlanBuilder()
 
-	fitGraph := func(g *graph.Graph) (any, error) {
+	fitGraph := func(g *graph.Graph, s *core.Scratch) (any, error) {
 		degs := g.Degrees()[1:]
+		if s != nil {
+			degs = s.DegreesOf(g)
+		}
 		fit, err := stats.FitPowerLawAuto(degs, 50)
 		if err != nil {
 			return nil, err
@@ -139,12 +142,12 @@ func PlanE6(cfg Config) (*Plan, error) {
 	}
 	var cells []cell
 	addCell := func(name string, expected float64, seed uint64, gen func(r *rng.RNG) (*graph.Graph, error)) {
-		idx := b.add("E6/"+name, seed, func(_ context.Context, r *rng.RNG) (any, error) {
+		idx := b.addScratch("E6/"+name, seed, func(_ context.Context, r *rng.RNG, s *core.Scratch) (any, error) {
 			g, err := gen(r)
 			if err != nil {
 				return nil, err
 			}
-			return fitGraph(g)
+			return fitGraph(g, s)
 		})
 		cells = append(cells, cell{name: name, expected: expected, idx: idx})
 	}

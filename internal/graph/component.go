@@ -31,6 +31,55 @@ func Components(g *Graph) (labels []int32, count int) {
 	return labels, int(next)
 }
 
+// ComponentsParallel is Components with each component flood expanded
+// by the frontier-parallel machinery of BFSParallelInto. Seeds are
+// still scanned in increasing vertex order and labels assigned in seed
+// order, so the (labels, count) output is byte-identical to serial
+// Components for every worker count; only the within-flood work is
+// parallel, which is where all the time goes on graphs dominated by a
+// giant component.
+func ComponentsParallel(g *Graph, workers int) (labels []int32, count int) {
+	labels = make([]int32, g.NumVertices()+1)
+	count = ComponentsParallelInto(g, labels, workers, nil)
+	return labels, count
+}
+
+// ComponentsParallelInto is ComponentsParallel writing labels into a
+// caller buffer of length >= n+1 (every entry is overwritten) with a
+// reusable traversal scratch; nil s falls back to fresh buffers. It
+// returns the component count.
+func ComponentsParallelInto(g *Graph, labels []int32, workers int, s *BFSScratch) int {
+	if s == nil {
+		s = &BFSScratch{}
+	}
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := int32(0)
+	for v := Vertex(1); v <= Vertex(g.NumVertices()); v++ {
+		if labels[v] != -1 {
+			continue
+		}
+		labels[v] = next
+		s.frontier = append(s.frontier[:0], v)
+		s.flood(g, labels, workers, false, next)
+		next++
+	}
+	return int(next)
+}
+
+// ComponentSizesFrom tallies component sizes from a Components (or
+// ComponentsParallelInto) labelling of g without materializing any
+// subgraph — the giant-graph substitute for LargestComponent when only
+// sizes are needed. sizes[c] is the vertex count of component c.
+func ComponentSizesFrom(g *Graph, labels []int32, count int) []int {
+	sizes := make([]int, count)
+	for v := 1; v <= g.NumVertices(); v++ {
+		sizes[labels[v]]++
+	}
+	return sizes
+}
+
 // IsConnected reports whether the undirected view of g is connected.
 // The empty graph is considered connected.
 func IsConnected(g *Graph) bool {

@@ -17,7 +17,11 @@
 //     half-edges, so a self-loop contributes two.
 package graph
 
-import "scalefree/internal/buf"
+import (
+	"sync"
+
+	"scalefree/internal/buf"
+)
 
 // Vertex identifies a vertex; identities are 1-based.
 type Vertex int32
@@ -278,6 +282,26 @@ func (g *Graph) InDegrees() []int {
 	return ds
 }
 
+// AppendDegrees appends the undirected degree of every vertex 1..n to
+// dst (n entries, no padding slot) and returns the extended slice —
+// the allocation-free counterpart of Degrees()[1:] for callers with a
+// reusable buffer.
+func (g *Graph) AppendDegrees(dst []int) []int {
+	for v := Vertex(1); v <= Vertex(g.n); v++ {
+		dst = append(dst, g.Degree(v))
+	}
+	return dst
+}
+
+// AppendInDegrees appends the indegree of every vertex 1..n to dst;
+// see AppendDegrees.
+func (g *Graph) AppendInDegrees(dst []int) []int {
+	for v := Vertex(1); v <= Vertex(g.n); v++ {
+		dst = append(dst, g.InDegree(v))
+	}
+	return dst
+}
+
 // MaxDegree returns the maximum undirected degree, or 0 for an empty
 // graph.
 func (g *Graph) MaxDegree() int {
@@ -295,6 +319,57 @@ func (g *Graph) MaxInDegree() int {
 	max := 0
 	for v := Vertex(1); v <= Vertex(g.n); v++ {
 		if d := g.InDegree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxDegreeParallel is MaxDegree with the vertex range partitioned
+// over up to workers goroutines, per-worker partial maxima merged at
+// the end. Identical result for every worker count.
+func (g *Graph) MaxDegreeParallel(workers int) int {
+	return maxOverVertices(g.n, workers, func(v Vertex) int { return g.Degree(v) })
+}
+
+// MaxInDegreeParallel is MaxInDegree partitioned like MaxDegreeParallel.
+func (g *Graph) MaxInDegreeParallel(workers int) int {
+	return maxOverVertices(g.n, workers, func(v Vertex) int { return g.InDegree(v) })
+}
+
+// maxOverVertices partitions 1..n into contiguous worker ranges and
+// merges the per-range maxima.
+func maxOverVertices(n, workers int, f func(Vertex) int) int {
+	if workers <= 1 || n < 1<<14 {
+		max := 0
+		for v := Vertex(1); v <= Vertex(n); v++ {
+			if d := f(v); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	partial := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := 1 + n*w/workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			max := 0
+			for v := Vertex(lo); v <= Vertex(hi); v++ {
+				if d := f(v); d > max {
+					max = d
+				}
+			}
+			partial[w] = max
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	max := 0
+	for _, d := range partial {
+		if d > max {
 			max = d
 		}
 	}

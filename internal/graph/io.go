@@ -22,12 +22,16 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	if _, err := fmt.Fprintf(bw, "# scalefree edgelist v1\nn %d m %d\n", g.NumVertices(), g.NumEdges()); err != nil {
 		return fmt.Errorf("graph: writing header: %w", err)
 	}
+	// One reused line buffer instead of a string per endpoint keeps the
+	// export allocation-flat at any edge count.
+	line := make([]byte, 0, 32)
 	for e := 0; e < g.NumEdges(); e++ {
 		u, v := g.Endpoints(EdgeID(e))
-		bw.WriteString(strconv.Itoa(int(u)))
-		bw.WriteByte(' ')
-		bw.WriteString(strconv.Itoa(int(v)))
-		if err := bw.WriteByte('\n'); err != nil {
+		line = strconv.AppendInt(line[:0], int64(u), 10)
+		line = append(line, ' ')
+		line = strconv.AppendInt(line, int64(v), 10)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
 			return fmt.Errorf("graph: writing edge %d: %w", e, err)
 		}
 	}

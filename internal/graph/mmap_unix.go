@@ -1,0 +1,22 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned release func
+// unmaps; the file descriptor itself may be closed as soon as mapFile
+// returns (the mapping keeps the pages alive).
+func mapFile(f *os.File, size int) (data []byte, release func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

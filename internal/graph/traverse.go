@@ -1,5 +1,10 @@
 package graph
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Unreachable is the distance reported by BFS for vertices not connected
 // to the source.
 const Unreachable int32 = -1
@@ -36,6 +41,195 @@ func BFSInto(g *Graph, src Vertex, dist []int32, queue []Vertex) {
 			}
 		}
 	}
+}
+
+// bfsSerialFrontier is the frontier size below which a level is
+// expanded inline rather than fanned out to workers: small levels
+// (BFS warm-up, the tail of a component, whole tiny components) cost
+// more in goroutine handoff than in work, and processing them serially
+// keeps the output contract trivially intact because only one
+// goroutine touches the arrays.
+const bfsSerialFrontier = 256
+
+// BFSScratch holds the reusable state of frontier-parallel traversal:
+// the current/next frontier buffers and one record per worker. The
+// zero value is ready to use; after a warm-up call at a given size and
+// worker count, subsequent traversals allocate nothing. A scratch
+// belongs to one traversal at a time (one goroutine calls in; the
+// workers it fans out to are internal).
+type BFSScratch struct {
+	frontier []Vertex
+	next     []Vertex
+	workers  []bfsWorker
+	wg       sync.WaitGroup
+	cursor   atomic.Int64
+
+	// Per-level state read by the worker goroutines; written only
+	// between level barriers.
+	g        *Graph
+	target   []int32
+	writeVal int32
+	frontLen int
+	chunk    int
+}
+
+// bfsWorker is one worker's slot: its owning scratch, its private
+// next-frontier buffer, and a pre-bound spawn func. Spawning `go w.run()`
+// directly would allocate a fresh closure per level per worker (the
+// compiler wraps the receiver for newproc); binding the method value
+// once and spawning `go w.spawn()` keeps steady-state traversal
+// allocation-free. The padding keeps the hot, constantly-updated slice
+// headers of different workers on different cache lines.
+type bfsWorker struct {
+	s     *BFSScratch
+	next  []Vertex
+	spawn func()
+	_     [32]byte
+}
+
+// run claims chunks of the current frontier until none remain,
+// expanding each vertex's incidence list. Discovery is settled by a
+// compare-and-swap from Unreachable, so exactly one worker wins each
+// newly reached vertex and appends it to its private buffer; the value
+// written (the BFS level or a component label) is the same whichever
+// worker wins, which is what makes the merged output independent of
+// scheduling.
+func (w *bfsWorker) run() {
+	s := w.s
+	g, target, val := s.g, s.target, s.writeVal
+	w.next = w.next[:0]
+	chunk := s.chunk
+	for {
+		hi := int(s.cursor.Add(int64(chunk)))
+		lo := hi - chunk
+		if lo >= s.frontLen {
+			break
+		}
+		if hi > s.frontLen {
+			hi = s.frontLen
+		}
+		for _, u := range s.frontier[lo:hi] {
+			for _, h := range g.Incident(u) {
+				o := h.Other
+				if atomic.LoadInt32(&target[o]) == Unreachable &&
+					atomic.CompareAndSwapInt32(&target[o], Unreachable, val) {
+					w.next = append(w.next, o)
+				}
+			}
+		}
+	}
+	s.wg.Done()
+}
+
+func (s *BFSScratch) ensureWorkers(workers int) {
+	if cap(s.workers) >= workers {
+		s.workers = s.workers[:workers]
+	} else {
+		nw := make([]bfsWorker, workers)
+		copy(nw, s.workers)
+		for i := range nw {
+			// Old spawn closures point at the old array's elements.
+			nw[i].spawn = nil
+		}
+		s.workers = nw
+	}
+	for i := range s.workers {
+		w := &s.workers[i]
+		w.s = s
+		if w.spawn == nil {
+			w.spawn = w.run
+		}
+	}
+}
+
+// flood runs one level-synchronous flood over the undirected view,
+// starting from the seeds already in s.frontier (whose target entries
+// the caller has set). When levelValues is true each discovered vertex
+// receives its BFS level (seed level + 1, + 2, ...); otherwise every
+// vertex receives the constant val (component labelling). Levels at or
+// above bfsSerialFrontier are fanned out to the workers; smaller ones
+// are expanded inline.
+func (s *BFSScratch) flood(g *Graph, target []int32, workers int, levelValues bool, val int32) {
+	level := int32(0)
+	for len(s.frontier) > 0 {
+		if levelValues {
+			val = level + 1
+		}
+		if workers <= 1 || len(s.frontier) < bfsSerialFrontier {
+			s.next = s.next[:0]
+			for _, u := range s.frontier {
+				for _, h := range g.Incident(u) {
+					if target[h.Other] == Unreachable {
+						target[h.Other] = val
+						s.next = append(s.next, h.Other)
+					}
+				}
+			}
+		} else {
+			s.ensureWorkers(workers)
+			s.g, s.target, s.writeVal = g, target, val
+			s.frontLen = len(s.frontier)
+			s.chunk = frontierChunk(len(s.frontier), workers)
+			s.cursor.Store(0)
+			s.wg.Add(workers)
+			for i := range s.workers {
+				go s.workers[i].spawn()
+			}
+			s.wg.Wait()
+			s.next = s.next[:0]
+			for i := range s.workers {
+				s.next = append(s.next, s.workers[i].next...)
+			}
+		}
+		s.frontier, s.next = s.next, s.frontier
+		level++
+	}
+}
+
+// frontierChunk picks the grain workers claim from the frontier: small
+// enough that skewed degree sums balance, large enough that the atomic
+// claim is amortized.
+func frontierChunk(frontier, workers int) int {
+	c := frontier / (workers * 8)
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// BFSParallel is BFSParallelInto with fresh buffers.
+func BFSParallel(g *Graph, src Vertex, workers int) []int32 {
+	dist := make([]int32, g.NumVertices()+1)
+	BFSParallelInto(g, src, dist, workers, nil)
+	return dist
+}
+
+// BFSParallelInto computes undirected hop distances from src exactly
+// like BFSInto, but expands each BFS level with up to workers
+// goroutines: the frontier is claimed in chunks, newly discovered
+// vertices are settled by compare-and-swap, and per-worker
+// next-frontier buffers are merged at the level barrier. Because a
+// vertex's distance is its BFS level — a property of the graph, not of
+// visit order — the dist array is byte-identical to serial BFSInto
+// output for every worker count and schedule.
+//
+// dist must have length >= n+1 (every entry is overwritten, matching
+// BFSInto). s may be nil (fresh buffers); passing a reused *BFSScratch
+// makes steady-state traversal allocation-free. workers <= 1 runs
+// serially.
+func BFSParallelInto(g *Graph, src Vertex, dist []int32, workers int, s *BFSScratch) {
+	if src <= 0 || int(src) > g.NumVertices() {
+		panic("graph: BFS source out of range")
+	}
+	if s == nil {
+		s = &BFSScratch{}
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	s.frontier = append(s.frontier[:0], src)
+	s.flood(g, dist, workers, true, 0)
 }
 
 // Eccentricity returns the maximum finite BFS distance from src, i.e.
@@ -119,6 +313,56 @@ func AverageDistanceSampledInto(g *Graph, sources []Vertex, dist []int32, queue 
 	var count int64
 	for _, src := range sources {
 		BFSInto(g, src, dist, queue)
+		for v := 1; v <= n; v++ {
+			if dist[v] > 0 {
+				sum += float64(dist[v])
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// DoubleSweepLowerBoundParallelInto is DoubleSweepLowerBoundInto with
+// both sweeps running on the frontier-parallel BFS. The dist contract
+// matches BFSParallelInto; the result equals the serial double sweep
+// because each sweep's dist array does.
+func DoubleSweepLowerBoundParallelInto(g *Graph, src Vertex, dist []int32, workers int, s *BFSScratch) int {
+	BFSParallelInto(g, src, dist, workers, s)
+	far := src
+	best := int32(0)
+	for v := Vertex(1); v <= Vertex(g.NumVertices()); v++ {
+		if dist[v] > best {
+			best = dist[v]
+			far = v
+		}
+	}
+	BFSParallelInto(g, far, dist, workers, s)
+	ecc := int32(0)
+	for v := 1; v <= g.NumVertices(); v++ {
+		if dist[v] > ecc {
+			ecc = dist[v]
+		}
+	}
+	return int(ecc)
+}
+
+// AverageDistanceSampledParallelInto is AverageDistanceSampledInto on
+// the frontier-parallel BFS: identical estimate (each source's dist
+// array is byte-identical to the serial one), one graph pass per
+// source spread over workers goroutines.
+func AverageDistanceSampledParallelInto(g *Graph, sources []Vertex, dist []int32, workers int, s *BFSScratch) float64 {
+	if len(sources) == 0 {
+		panic("graph: AverageDistanceSampled needs at least one source")
+	}
+	n := g.NumVertices()
+	var sum float64
+	var count int64
+	for _, src := range sources {
+		BFSParallelInto(g, src, dist, workers, s)
 		for v := 1; v <= n; v++ {
 			if dist[v] > 0 {
 				sum += float64(dist[v])

@@ -1,6 +1,9 @@
 package stats
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Histogram counts occurrences of non-negative integer values (degrees).
 type Histogram struct {
@@ -20,6 +23,42 @@ func HistogramOf(xs []int) *Histogram {
 		h.Observe(x)
 	}
 	return h
+}
+
+// HistogramOfParallel builds the same histogram as HistogramOf by
+// partitioning the sample into contiguous worker ranges, counting each
+// range into a per-worker partial histogram, and merging the partials.
+// Counts are additive, so the result is identical to the serial build
+// for every worker count; memory stays O(workers × support), not O(n).
+func HistogramOfParallel(xs []int, workers int) *Histogram {
+	if workers <= 1 || len(xs) < 1<<14 {
+		return HistogramOf(xs)
+	}
+	partial := make([]*Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(xs) * w / workers
+		hi := len(xs) * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = HistogramOf(xs[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := partial[0]
+	for _, p := range partial[1:] {
+		merged.Merge(p)
+	}
+	return merged
+}
+
+// Merge adds every observation of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, c := range other.counts {
+		h.counts[v] += c
+	}
+	h.total += other.total
 }
 
 // Observe adds one occurrence of value x.

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"runtime"
+	"testing"
+
+	"scalefree/internal/rng"
+)
+
+func TestHistogramMerge(t *testing.T) {
+	a := HistogramOf([]int{1, 1, 2})
+	b := HistogramOf([]int{2, 3})
+	a.Merge(b)
+	whole := HistogramOf([]int{1, 1, 2, 2, 3})
+	if a.Total() != whole.Total() {
+		t.Fatalf("merged total %d, want %d", a.Total(), whole.Total())
+	}
+	for _, v := range whole.Support() {
+		if a.Count(v) != whole.Count(v) {
+			t.Errorf("merged count(%d) = %d, want %d", v, a.Count(v), whole.Count(v))
+		}
+	}
+}
+
+// TestHistogramOfParallelMatchesSerial: the partitioned build must be
+// indistinguishable from HistogramOf — same support, same counts, same
+// CCDF — for every worker count, on a sample large enough to actually
+// partition (heavy-tailed, like the degree sequences it is built for).
+func TestHistogramOfParallelMatchesSerial(t *testing.T) {
+	r := rng.New(17)
+	xs := make([]int, 1<<16)
+	for i := range xs {
+		// Rough power-law-ish sample: many small values, rare large ones.
+		x := 1
+		for r.Float64() < 0.6 && x < 10000 {
+			x *= 2
+		}
+		xs[i] = x + r.Intn(3)
+	}
+	want := HistogramOf(xs)
+	for _, workers := range []int{1, 2, 3, runtime.NumCPU(), 16} {
+		got := HistogramOfParallel(xs, workers)
+		if got.Total() != want.Total() {
+			t.Fatalf("workers=%d: total %d, want %d", workers, got.Total(), want.Total())
+		}
+		gotSupport, wantSupport := got.Support(), want.Support()
+		if len(gotSupport) != len(wantSupport) {
+			t.Fatalf("workers=%d: support size %d, want %d", workers, len(gotSupport), len(wantSupport))
+		}
+		for i, v := range wantSupport {
+			if gotSupport[i] != v || got.Count(v) != want.Count(v) {
+				t.Fatalf("workers=%d: count(%d) = %d, want %d", workers, v, got.Count(v), want.Count(v))
+			}
+		}
+		gotCCDF, wantCCDF := got.CCDF(), want.CCDF()
+		for i := range wantCCDF {
+			if gotCCDF[i] != wantCCDF[i] {
+				t.Fatalf("workers=%d: CCDF[%d] = %+v, want %+v", workers, i, gotCCDF[i], wantCCDF[i])
+			}
+		}
+	}
+}
+
+// Small inputs take the serial path; the result must still be right
+// even when workers exceeds the sample size.
+func TestHistogramOfParallelSmallInputs(t *testing.T) {
+	for _, xs := range [][]int{nil, {7}, {1, 2, 3}} {
+		want := HistogramOf(xs)
+		got := HistogramOfParallel(xs, 8)
+		if got.Total() != want.Total() {
+			t.Errorf("len=%d: total %d, want %d", len(xs), got.Total(), want.Total())
+		}
+		for _, v := range want.Support() {
+			if got.Count(v) != want.Count(v) {
+				t.Errorf("len=%d: count(%d) = %d, want %d", len(xs), v, got.Count(v), want.Count(v))
+			}
+		}
+	}
+}
