@@ -4,10 +4,12 @@
 // Usage:
 //
 //	experiments [-run E1,E4] [-scale 1.0] [-seed 2024] [-workers 0]
-//	            [-progress] [-csv dir] [-cache dir]
+//	            [-progress] [-csv dir] [-cache dir [-cache-max-bytes n]]
 //	            [-shard i/k -out dir [-resume]] [-merge dir]
-//	            [-coordinate addr [-chunk n] [-lease-ttl d]]
-//	            [-worker addr] [-cache-gc fingerprint]
+//	            [-coordinate addr [-chunk n] [-lease-ttl d] [-auth-key k]
+//	                             [-out dir [-drain-timeout d]] [-chaos seed]]
+//	            [-worker addr [-auth-key k] [-dial-retries n]]
+//	            [-cache-gc fingerprint]
 //
 // -scale shrinks workload sizes and replication counts proportionally
 // (0.1 gives a quick smoke run); -workers bounds the trial worker pool
@@ -38,6 +40,23 @@
 // -cache-gc fingerprint deletes a finished or abandoned run's entries
 // (plus crashed writers' temp files) from -cache.
 //
+// Robustness (DESIGN.md §6.6): -auth-key authenticates every
+// coordinator/worker handshake by shared-key HMAC challenge–response —
+// both ends must carry the same key, and a mismatch is rejected before
+// any trial is leased. With -coordinate, -out names a drain directory:
+// a cancelled coordinator waits up to -drain-timeout for in-flight
+// leases, then persists every completed result there as 1-of-1 shard
+// files, which `-shard 1/1 -out dir -resume` re-executes from (only the
+// missing trials run) or -merge reassembles. -dial-retries bounds a
+// worker's consecutive failed connection attempts; within the bound the
+// worker rides out coordinator restarts and partitions with jittered
+// exponential backoff. -cache-max-bytes evicts least-recently-used
+// -cache entries down to the given size after a successful run, never
+// touching entries the run itself wrote or read. -chaos n wraps every
+// accepted coordinator connection in deterministic seed-scripted fault
+// injection (internal/faultnet) for recovery drills; the rendered
+// tables must still be byte-identical to a fault-free run.
+//
 // Tables go to stdout; all status goes to stderr, so single-process,
 // merged, and coordinated outputs diff cleanly.
 package main
@@ -57,6 +76,7 @@ import (
 
 	"scalefree/internal/engine"
 	"scalefree/internal/experiment"
+	"scalefree/internal/faultnet"
 	"scalefree/internal/sweep"
 )
 
@@ -87,6 +107,12 @@ type options struct {
 	cacheGC  string
 	chunk    int
 	leaseTTL time.Duration
+
+	authKey       string
+	dialRetries   int
+	drainTimeout  time.Duration
+	cacheMaxBytes int64
+	chaos         uint64
 
 	// set records which flags were explicitly given, for rejecting
 	// explicit-but-meaningless combinations whose zero values are
@@ -153,6 +179,9 @@ func (o *options) validate() error {
 			return fmt.Errorf("-csv applies to runs that print tables; shard runs write result files (use -csv with -merge)")
 		}
 	case "coordinate":
+		// -out here is the drain directory: a cancelled coordinator
+		// persists completed results into it as 1-of-1 shard files that
+		// `-shard 1/1 -out dir -resume` or -merge pick back up.
 		switch {
 		case o.isSet("workers"):
 			return fmt.Errorf("-workers sizes a trial pool; the coordinator executes no trials (set it on each -worker)")
@@ -160,8 +189,6 @@ func (o *options) validate() error {
 			return fmt.Errorf("-cache applies to processes that execute trials; the coordinator only schedules (set it on each -worker)")
 		case o.resume:
 			return fmt.Errorf("-resume applies to -shard runs; coordinated sweeps resume through each worker's -cache")
-		case o.out != "":
-			return fmt.Errorf("-out applies to -shard runs; the coordinator prints tables on stdout")
 		}
 	case "worker":
 		switch {
@@ -203,6 +230,37 @@ func (o *options) validate() error {
 	if o.isSet("lease-ttl") && o.leaseTTL <= 0 {
 		return fmt.Errorf("-lease-ttl must be positive")
 	}
+
+	// Robustness tunables are mode-specific too.
+	if o.isSet("auth-key") && o.mode() != "coordinate" && o.mode() != "worker" {
+		return fmt.Errorf("-auth-key authenticates the coordinator/worker handshake; it requires -coordinate or -worker")
+	}
+	if o.isSet("dial-retries") && o.mode() != "worker" {
+		return fmt.Errorf("-dial-retries bounds a worker's reconnection attempts; it requires -worker")
+	}
+	if o.isSet("drain-timeout") {
+		switch {
+		case o.mode() != "coordinate":
+			return fmt.Errorf("-drain-timeout bounds a cancelled coordinator's drain; it requires -coordinate")
+		case o.out == "":
+			return fmt.Errorf("-drain-timeout needs -out to name the drain directory for persisted results")
+		case o.drainTimeout <= 0:
+			return fmt.Errorf("-drain-timeout must be positive")
+		}
+	}
+	if o.isSet("chaos") && o.mode() != "coordinate" {
+		return fmt.Errorf("-chaos injects faults on coordinator connections; it requires -coordinate")
+	}
+	if o.isSet("cache-max-bytes") {
+		switch {
+		case o.cacheDir == "":
+			return fmt.Errorf("-cache-max-bytes bounds the -cache directory; it requires -cache")
+		case o.cacheMaxBytes < 0:
+			return fmt.Errorf("-cache-max-bytes must be >= 0")
+		case o.mode() == "cache-gc":
+			return fmt.Errorf("-cache-max-bytes evicts after a run completes; use -cache-gc's fingerprint deletion instead")
+		}
+	}
 	return nil
 }
 
@@ -225,6 +283,11 @@ func parseOptions(args []string) (*options, error) {
 	fs.StringVar(&o.cacheGC, "cache-gc", "", "delete the given plan fingerprint's entries (plus temp files) from -cache")
 	fs.IntVar(&o.chunk, "chunk", 8, "with -coordinate: trials per lease")
 	fs.DurationVar(&o.leaseTTL, "lease-ttl", 10*time.Second, "with -coordinate: heartbeat deadline before a lease's chunk is reassigned")
+	fs.StringVar(&o.authKey, "auth-key", "", "shared key for the coordinator/worker HMAC handshake (both ends must agree)")
+	fs.IntVar(&o.dialRetries, "dial-retries", 0, "with -worker: consecutive failed connection attempts before giving up (0 = default 10, negative = single attempt)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 0, "with -coordinate -out: how long a cancelled coordinator waits for in-flight leases before draining results to -out")
+	fs.Int64Var(&o.cacheMaxBytes, "cache-max-bytes", 0, "after a successful run: evict least-recently-used -cache entries down to this many bytes (current run's entries are never evicted)")
+	fs.Uint64Var(&o.chaos, "chaos", 0, "with -coordinate: inject deterministic seed-scripted connection faults (delays, resets, truncations, partitions) for recovery testing")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -280,16 +343,33 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runShards(ctx, selected, cfg, spec, o.workers, o.progress, cache, o.out, o.resume)
+		if err := runShards(ctx, selected, cfg, spec, o.workers, o.progress, cache, o.out, o.resume); err != nil {
+			return err
+		}
 	case "coordinate":
 		return runCoordinator(ctx, selected, cfg, o)
 	case "worker":
-		return runWorker(ctx, selected, cfg, o, cache)
+		if err := runWorker(ctx, selected, cfg, o, cache); err != nil {
+			return err
+		}
 	case "cache-gc":
 		return runCacheGC(cache, o.cacheGC)
 	default:
-		return runAll(ctx, selected, cfg, o.workers, o.progress, cache, o.csvDir)
+		if err := runAll(ctx, selected, cfg, o.workers, o.progress, cache, o.csvDir); err != nil {
+			return err
+		}
 	}
+
+	// Eviction runs only after a fully successful run: an interrupted
+	// sweep's entries are exactly what the next -cache run resumes from.
+	if o.isSet("cache-max-bytes") && cache != nil {
+		stats, err := cache.EvictTo(o.cacheMaxBytes)
+		if err != nil {
+			return fmt.Errorf("evicting cache to %d bytes: %w", o.cacheMaxBytes, err)
+		}
+		fmt.Fprintf(os.Stderr, "cache %s: evicted to <= %d bytes (%s)\n", cache.Dir(), o.cacheMaxBytes, stats)
+	}
+	return nil
 }
 
 // progressHook builds the -progress stderr stream: per-trial lines
@@ -384,7 +464,34 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 	fmt.Fprintf(os.Stderr, "coordinating %d trials on %s (chunk %d, lease TTL %v)\n",
 		total, lis.Addr(), o.chunk, o.leaseTTL)
 
-	copts := sweep.CoordOptions{ChunkSize: o.chunk, LeaseTTL: o.leaseTTL}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+	}
+	var faultLis *faultnet.Listener
+	if o.isSet("chaos") {
+		faultLis = faultnet.Listen(lis, o.chaos, faultnet.Default())
+		faultLis.Log = logf
+		lis = faultLis
+		fmt.Fprintf(os.Stderr, "chaos: injecting scripted faults on every accepted connection (seed %d)\n", o.chaos)
+	}
+
+	copts := sweep.CoordOptions{
+		ChunkSize: o.chunk,
+		LeaseTTL:  o.leaseTTL,
+		AuthKey:   o.authKey,
+		Log:       logf,
+	}
+	if o.out != "" {
+		if err := os.MkdirAll(o.out, 0o755); err != nil {
+			return fmt.Errorf("creating drain directory: %w", err)
+		}
+		drain, err := experiment.DrainToDir(selected, cfg, o.out, logf)
+		if err != nil {
+			return err
+		}
+		copts.Drain = drain
+		copts.DrainTimeout = o.drainTimeout
+	}
 	if o.progress {
 		agg := engine.NewAggregator(total, engine.NewRateTracker(0))
 		copts.OnResult = func(worker, expID string, t engine.Trial) {
@@ -396,6 +503,9 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 	}
 	start := time.Now()
 	tables, err := experiment.CoordinateSweep(ctx, selected, cfg, lis, copts)
+	if faultLis != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %d faults injected\n", faultLis.Injected())
+	}
 	if err != nil {
 		return err
 	}
@@ -416,6 +526,8 @@ func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experi
 		eopts.Progress = progressHook(engine.NewRateTracker(0))
 	}
 	wopts := sweep.WorkerOptions{
+		AuthKey:     o.authKey,
+		DialRetries: o.dialRetries,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		},

@@ -33,11 +33,11 @@ func TestFlagValidation(t *testing.T) {
 		{"shard without out", []string{"-shard", "1/2"}, "-out"},
 		{"shard+csv", []string{"-shard", "1/2", "-out", "d", "-csv", "c"}, "-csv"},
 
-		// The coordinator schedules; it executes no trials.
+		// The coordinator schedules; it executes no trials. (-out is
+		// legal here: it names the graceful-drain shard directory.)
 		{"coordinate+workers", []string{"-coordinate", ":0", "-workers", "4"}, "-workers"},
 		{"coordinate+cache", []string{"-coordinate", ":0", "-cache", "c"}, "-cache"},
 		{"coordinate+resume", []string{"-coordinate", ":0", "-resume"}, "-resume"},
-		{"coordinate+out", []string{"-coordinate", ":0", "-out", "d"}, "-out"},
 
 		// Workers stream results; they print no tables.
 		{"worker+csv", []string{"-worker", ":0", "-csv", "c"}, "-csv"},
@@ -60,6 +60,20 @@ func TestFlagValidation(t *testing.T) {
 		{"chunk on worker", []string{"-worker", ":0", "-chunk", "4"}, "-coordinate"},
 		{"zero chunk", []string{"-coordinate", ":0", "-chunk", "0"}, "-chunk"},
 		{"negative lease", []string{"-coordinate", ":0", "-lease-ttl", "-1s"}, "-lease-ttl"},
+
+		// Robustness tunables outside their modes.
+		{"auth-key on run", []string{"-auth-key", "k"}, "-coordinate or -worker"},
+		{"auth-key on shard", []string{"-shard", "1/2", "-out", "d", "-auth-key", "k"}, "-coordinate or -worker"},
+		{"dial-retries on run", []string{"-dial-retries", "5"}, "-worker"},
+		{"dial-retries on coordinator", []string{"-coordinate", ":0", "-dial-retries", "5"}, "-worker"},
+		{"drain-timeout on worker", []string{"-worker", ":0", "-drain-timeout", "5s"}, "-coordinate"},
+		{"drain-timeout without out", []string{"-coordinate", ":0", "-drain-timeout", "5s"}, "-out"},
+		{"negative drain-timeout", []string{"-coordinate", ":0", "-out", "d", "-drain-timeout", "-1s"}, "-drain-timeout"},
+		{"chaos on worker", []string{"-worker", ":0", "-chaos", "7"}, "-coordinate"},
+		{"chaos on run", []string{"-chaos", "7"}, "-coordinate"},
+		{"cache-max-bytes without cache", []string{"-cache-max-bytes", "1024"}, "-cache"},
+		{"negative cache-max-bytes", []string{"-cache", "c", "-cache-max-bytes", "-1"}, ">= 0"},
+		{"cache-max-bytes on cache-gc", []string{"-cache-gc", "abc", "-cache", "c", "-cache-max-bytes", "1024"}, "-cache-max-bytes"},
 	}
 	for _, tc := range reject {
 		t.Run(tc.name, func(t *testing.T) {
@@ -81,6 +95,11 @@ func TestFlagValidation(t *testing.T) {
 		{"-coordinate", ":9131", "-chunk", "16", "-lease-ttl", "30s", "-progress", "-csv", "c"},
 		{"-worker", "host:9131", "-workers", "8", "-cache", "c", "-progress"},
 		{"-cache-gc", "abc123", "-cache", "c"},
+		{"-coordinate", ":9131", "-auth-key", "s3cret", "-out", "drain", "-drain-timeout", "30s"},
+		{"-coordinate", ":9131", "-chaos", "1889"},
+		{"-worker", "host:9131", "-auth-key", "s3cret", "-dial-retries", "-1"},
+		{"-run", "E4", "-cache", "c", "-cache-max-bytes", "1048576"},
+		{"-shard", "1/1", "-out", "d", "-cache", "c", "-cache-max-bytes", "0"},
 	}
 	for _, args := range accept {
 		if _, err := parseOptions(args); err != nil {

@@ -35,6 +35,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"runtime"
@@ -47,52 +48,90 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "genstats:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		name     = flag.String("model", "mori", "registered model name (see graphgen -list)")
-		params   = flag.String("params", "", "comma-separated name=value model parameters (defaults otherwise)")
-		seed     = flag.Uint64("seed", 1, "seed (drives generation and distance-sampling sources)")
-		snapshot = flag.String("snapshot", "", "measure this binary CSR snapshot (mmap, zero-copy) instead of generating")
-		verify   = flag.Bool("verify", false, "with -snapshot: run the full structural validation before measuring")
-		threads  = flag.Int("threads", 0, "goroutines for the parallel passes (0 = all cores)")
-	)
-	flag.Parse()
-	if *verify && *snapshot == "" {
+// options is the parsed command line, separated from execution so the
+// CLI test covers flag validation and model resolution without
+// exec'ing the binary (the cmd/graphgen idiom).
+type options struct {
+	model    string
+	params   string
+	seed     uint64
+	snapshot string
+	verify   bool
+	threads  int
+}
+
+func parseOptions(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("genstats", flag.ContinueOnError)
+	fs.StringVar(&o.model, "model", "mori", "registered model name (see graphgen -list)")
+	fs.StringVar(&o.params, "params", "", "comma-separated name=value model parameters (defaults otherwise)")
+	fs.Uint64Var(&o.seed, "seed", 1, "seed (drives generation and distance-sampling sources)")
+	fs.StringVar(&o.snapshot, "snapshot", "", "measure this binary CSR snapshot (mmap, zero-copy) instead of generating")
+	fs.BoolVar(&o.verify, "verify", false, "with -snapshot: run the full structural validation before measuring")
+	fs.IntVar(&o.threads, "threads", 0, "goroutines for the parallel passes (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func (o *options) validate() error {
+	if o.verify && o.snapshot == "" {
 		return fmt.Errorf("-verify only applies to -snapshot runs")
 	}
-	if *threads < 0 {
-		return fmt.Errorf("-threads %d is negative", *threads)
+	if o.snapshot != "" && o.params != "" {
+		return fmt.Errorf("-snapshot measures an existing file; it takes no -params (the model ran at graphgen time)")
 	}
-	workers := *threads
+	if o.threads < 0 {
+		return fmt.Errorf("-threads %d is negative", o.threads)
+	}
+	return nil
+}
+
+// resolve instantiates the selected model, surfacing unknown names,
+// unknown parameters, and out-of-range values as CLI errors.
+func (o *options) resolve() (model.Model, error) {
+	return model.New(o.model, o.params)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	o, err := parseOptions(args)
+	if err != nil {
+		return err
+	}
+	workers := o.threads
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	r := rng.New(*seed)
+	r := rng.New(o.seed)
 	var g *graph.Graph
-	if *snapshot != "" {
+	if o.snapshot != "" {
 		start := time.Now()
-		snap, err := graph.OpenSnapshot(*snapshot)
+		snap, err := graph.OpenSnapshot(o.snapshot)
 		if err != nil {
 			return err
 		}
 		defer snap.Close()
-		if *verify {
+		if o.verify {
 			if err := snap.Validate(); err != nil {
 				return err
 			}
 		}
 		g = snap.Graph()
-		fmt.Printf("snapshot %s: %d vertices, %d edges, %d self-loops (opened in %v)\n",
-			*snapshot, g.NumVertices(), g.NumEdges(), g.NumSelfLoops(), time.Since(start).Round(time.Microsecond))
+		fmt.Fprintf(stdout, "snapshot %s: %d vertices, %d edges, %d self-loops (opened in %v)\n",
+			o.snapshot, g.NumVertices(), g.NumEdges(), g.NumSelfLoops(), time.Since(start).Round(time.Microsecond))
 	} else {
-		m, err := model.New(*name, *params)
+		m, err := o.resolve()
 		if err != nil {
 			return err
 		}
@@ -100,39 +139,39 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("model %s(%s): %d vertices, %d edges, %d self-loops\n",
+		fmt.Fprintf(stdout, "model %s(%s): %d vertices, %d edges, %d self-loops\n",
 			m.Name(), m.Params(), g.NumVertices(), g.NumEdges(), g.NumSelfLoops())
 	}
-	return printStats(g, workers, r)
+	return printStats(stdout, g, workers, r)
 }
 
 // printStats runs the measurement battery: every pass uses the
 // partitioned/parallel accumulators, whose outputs are identical to
 // the serial ones for any worker count.
-func printStats(g *graph.Graph, workers int, r *rng.RNG) error {
+func printStats(w io.Writer, g *graph.Graph, workers int, r *rng.RNG) error {
 	n := g.NumVertices()
 	if n == 0 {
-		fmt.Println("empty graph")
+		fmt.Fprintln(w, "empty graph")
 		return nil
 	}
 	var par graph.BFSScratch
 
 	labels := make([]int32, n+1)
 	comps := graph.ComponentsParallelInto(g, labels, workers, &par)
-	fmt.Printf("connected components: %d\n", comps)
+	fmt.Fprintf(w, "connected components: %d\n", comps)
 
 	degs := g.AppendDegrees(make([]int, 0, n))
 	sum := stats.Summarize(stats.IntsToFloats(degs))
-	fmt.Printf("degree: mean %.2f  median %.0f  max %d\n", sum.Mean, sum.Median, g.MaxDegreeParallel(workers))
+	fmt.Fprintf(w, "degree: mean %.2f  median %.0f  max %d\n", sum.Mean, sum.Median, g.MaxDegreeParallel(workers))
 	maxIn := g.MaxInDegreeParallel(workers)
-	fmt.Printf("max indegree: %d (n^%.3f)\n", maxIn,
+	fmt.Fprintf(w, "max indegree: %d (n^%.3f)\n", maxIn,
 		math.Log(float64(maxIn))/math.Log(float64(n)))
 
 	if fit, err := stats.FitPowerLawAuto(degs, 50); err == nil {
-		fmt.Printf("power-law tail fit: alpha %.3f ± %.3f (xmin %d, %d tail points, KS %.3f)\n",
+		fmt.Fprintf(w, "power-law tail fit: alpha %.3f ± %.3f (xmin %d, %d tail points, KS %.3f)\n",
 			fit.Alpha, fit.StdErr, fit.Xmin, fit.NTail, fit.KS)
 	} else {
-		fmt.Printf("power-law tail fit unavailable: %v\n", err)
+		fmt.Fprintf(w, "power-law tail fit unavailable: %v\n", err)
 	}
 
 	dist := make([]int32, n+1)
@@ -143,7 +182,7 @@ func printStats(g *graph.Graph, workers int, r *rng.RNG) error {
 		}
 		mean := graph.AverageDistanceSampledParallelInto(g, sources, dist, workers, &par)
 		diam := graph.DoubleSweepLowerBoundParallelInto(g, sources[0], dist, workers, &par)
-		fmt.Printf("mean distance %.2f (%.2f·ln n), diameter >= %d\n",
+		fmt.Fprintf(w, "mean distance %.2f (%.2f·ln n), diameter >= %d\n",
 			mean, mean/math.Log(float64(n)), diam)
 	} else {
 		sizes := graph.ComponentSizesFrom(g, labels, comps)
@@ -153,15 +192,15 @@ func printStats(g *graph.Graph, workers int, r *rng.RNG) error {
 				giant = s
 			}
 		}
-		fmt.Printf("giant component: %d vertices (%.1f%%)\n",
+		fmt.Fprintf(w, "giant component: %d vertices (%.1f%%)\n",
 			giant, 100*float64(giant)/float64(n))
 	}
 
 	ccdf := stats.HistogramOfParallel(degs, workers).CCDF()
-	fmt.Println("degree CCDF (value: fraction >= value):")
+	fmt.Fprintln(w, "degree CCDF (value: fraction >= value):")
 	step := len(ccdf)/10 + 1
 	for i := 0; i < len(ccdf); i += step {
-		fmt.Printf("  %6d: %.5f\n", ccdf[i].X, ccdf[i].Frac)
+		fmt.Fprintf(w, "  %6d: %.5f\n", ccdf[i].X, ccdf[i].Frac)
 	}
 	return nil
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"scalefree/internal/engine"
+	"scalefree/internal/faultnet"
 	"scalefree/internal/sweep"
 )
 
@@ -229,5 +231,166 @@ func TestCoordinatorMultiExperimentGolden(t *testing.T) {
 		if got := renderAll(t, out.tables[i]); got != goldens[i] {
 			t.Errorf("%s: coordinated output diverges from serial run", selected[i].ID)
 		}
+	}
+}
+
+// TestGoldenChaosSweep is the tentpole guarantee end to end at the
+// experiment layer: a coordinated run whose every connection suffers
+// injected delays, resets, truncations, split writes, and partitions
+// still renders tables byte-identical to the single-process run. The
+// Injected assertion keeps the chaos honest.
+func TestGoldenChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are not short")
+	}
+	exp, _ := ByID("E4")
+	cfg := Config{Seed: 2024, Scale: 0.05}
+	serial, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := renderAll(t, serial)
+
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := faultnet.Default()
+	faults.DelayMax = 5 * time.Millisecond
+	flis := faultnet.Listen(inner, 1889, faults)
+	outcome := make(chan struct {
+		tables [][]Table
+		err    error
+	}, 1)
+	go func() {
+		tables, err := CoordinateSweep(context.Background(), []Experiment{exp}, cfg, flis,
+			sweep.CoordOptions{ChunkSize: 3, LeaseTTL: 2 * time.Second, Linger: time.Second})
+		outcome <- struct {
+			tables [][]Table
+			err    error
+		}{tables, err}
+	}()
+
+	wopts := sweep.WorkerOptions{
+		DialRetries:   60,
+		ReconnectBase: 5 * time.Millisecond,
+		ReconnectMax:  100 * time.Millisecond,
+		IOTimeout:     time.Second,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := wopts
+			opts.Name = fmt.Sprintf("chaos-%d", w)
+			// A worker may exhaust its retries against the closed
+			// listener after the sweep completes; the outcome check is
+			// the correctness assertion.
+			if _, err := SweepWorker(context.Background(), []Experiment{exp}, cfg, flis.Addr().String(),
+				engine.Options{Workers: 2}, nil, opts); err != nil {
+				t.Logf("worker %d exited: %v", w, err)
+			}
+		}(w)
+	}
+	out := <-outcome
+	wg.Wait()
+	if out.err != nil {
+		t.Fatalf("chaos sweep failed: %v (injected %d faults)", out.err, flis.Injected())
+	}
+	if got := renderAll(t, out.tables[0]); got != golden {
+		t.Errorf("chaos-coordinated output diverges from single-process run:\n--- chaos ---\n%s\n--- single ---\n%s", got, golden)
+	}
+	if flis.Injected() == 0 {
+		t.Error("fault profile injected nothing; the chaos run degenerated to the clean path")
+	}
+}
+
+// TestDrainedSweepResumesWithZeroReexecution closes the crash-recovery
+// loop: a cancelled coordinator drains its in-flight chunk, persists
+// completed results as a 1-of-1 shard file via DrainToDir, and the
+// follow-up `-shard 1/1 -resume` run reuses every drained trial as a
+// cache hit — executing only the missing remainder — before the merged
+// tables come out byte-identical to the serial run.
+func TestDrainedSweepResumesWithZeroReexecution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runs are not short")
+	}
+	exp, _ := ByID("E4")
+	cfg := Config{Seed: 2024, Scale: 0.05}
+	plan, err := exp.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(plan.Trials)
+	serial, err := exp.RunContext(context.Background(), cfg, engine.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := renderAll(t, serial)
+
+	dir := t.TempDir()
+	drain, err := DrainToDir([]Experiment{exp}, cfg, dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	outcome := make(chan error, 1)
+	go func() {
+		_, err := CoordinateSweep(ctx, []Experiment{exp}, cfg, lis,
+			sweep.CoordOptions{ChunkSize: 2, LeaseTTL: time.Minute, Linger: 200 * time.Millisecond,
+				DrainTimeout: 30 * time.Second, Drain: drain, Log: t.Logf})
+		outcome <- err
+	}()
+
+	// Cancel the coordinator after the worker's first trial: the chunk
+	// in flight lands during the drain, everything after it never
+	// leases.
+	fired := false
+	wopts := engine.Options{Workers: 1, Progress: func(p engine.Progress) {
+		if !fired {
+			fired = true
+			cancel()
+		}
+	}}
+	if _, err := SweepWorker(context.Background(), []Experiment{exp}, cfg, lis.Addr().String(),
+		wopts, nil, sweep.WorkerOptions{Name: "drained", DialRetries: -1}); err == nil {
+		t.Error("worker reported success for a cancelled sweep")
+	}
+	if err := <-outcome; !errors.Is(err, context.Canceled) {
+		t.Fatalf("drained coordinator err = %v, want context.Canceled", err)
+	}
+
+	shardPath := filepath.Join(dir, exp.ShardFileName(sweep.ShardSpec{Index: 0, Count: 1}))
+	_, entries, err := sweep.ReadShardFile(shardPath)
+	if err != nil {
+		t.Fatalf("drain left no readable shard file: %v", err)
+	}
+	drained := len(entries)
+	if drained == 0 || drained >= total {
+		t.Fatalf("drain persisted %d of %d trials; the cancellation must land mid-sweep", drained, total)
+	}
+
+	// The resume run executes exactly the missing trials; every drained
+	// trial is a cache hit, none re-executes.
+	stats, err := exp.RunShard(context.Background(), cfg, sweep.ShardSpec{Index: 0, Count: 1},
+		engine.Options{Workers: 2}, nil, shardPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != drained || stats.Executed != total-drained {
+		t.Errorf("resume stats %+v, want %d cache hits / %d executed", stats, drained, total-drained)
+	}
+	tables, err := exp.MergeShardFiles(cfg, []string{shardPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(t, tables); got != golden {
+		t.Errorf("drain+resume output diverges from single-process run:\n--- resumed ---\n%s\n--- single ---\n%s", got, golden)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 
 	"scalefree/internal/core"
 	"scalefree/internal/engine"
@@ -172,6 +173,45 @@ func CoordinateSweep(ctx context.Context, selected []Experiment, cfg Config, lis
 		}
 	}
 	return tables, nil
+}
+
+// DrainToDir builds a sweep.CoordOptions.Drain hook that persists each
+// cancelled job's completed results into dir as a 1-of-1 SFSHARD1
+// shard file named like RunShard's output, so a drained sweep resumes
+// through the existing machinery: `-shard 1/1 -resume` reuses every
+// persisted trial (counted as cache hits) and executes only the
+// missing ones, and a file the drain completed merges as-is. The
+// selection and cfg must match the CoordinateSweep call the hook is
+// attached to — the shard headers are derived from the same plans.
+func DrainToDir(selected []Experiment, cfg Config, dir string, logf func(format string, args ...any)) (func(jobIdx int, results map[int]any), error) {
+	spec := sweep.ShardSpec{Index: 0, Count: 1}
+	headers := make([]sweep.ShardHeader, len(selected))
+	paths := make([]string, len(selected))
+	for i, e := range selected {
+		plan, job, err := e.planJob(cfg)
+		if err != nil {
+			return nil, err
+		}
+		headers[i] = sweep.ShardHeader{
+			ExpID:       e.ID,
+			Fingerprint: job.Fingerprint,
+			ShardIndex:  spec.Index,
+			ShardCount:  spec.Count,
+			TotalTrials: len(plan.Trials),
+		}
+		paths[i] = filepath.Join(dir, e.ShardFileName(spec))
+	}
+	return func(jobIdx int, results map[int]any) {
+		if err := sweep.WriteShardFile(paths[jobIdx], headers[jobIdx], results); err != nil {
+			if logf != nil {
+				logf("drain: %s: %v", paths[jobIdx], err)
+			}
+			return
+		}
+		if logf != nil {
+			logf("drain: wrote %d/%d results to %s", len(results), headers[jobIdx].TotalTrials, paths[jobIdx])
+		}
+	}, nil
 }
 
 // SweepWorker is the worker side: it re-plans the selected experiments

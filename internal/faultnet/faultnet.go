@@ -1,0 +1,304 @@
+// Package faultnet wraps net.Listener and net.Conn with deterministic,
+// seed-scripted fault injection: delays, split ("partial") writes,
+// connection resets, byte truncation, and one-way partitions. It
+// exists to prove the sweep layer's robustness claims (DESIGN.md §6.6)
+// under messy network conditions without flaky, timing-dependent
+// tests: every fault a wrapped connection injects is drawn from an
+// internal/rng stream derived from (seed, connection index, op
+// counter), so a chaos run is reproducible from its seed alone — the
+// same seed, protocol exchange, and fault profile yield the same
+// injected fault schedule.
+//
+// The wrappers sit on the accept side (the coordinator's listener in
+// the sweep tests and the -chaos CLI flag), where each connection is
+// served by a single goroutine, so the per-connection draw order is
+// exactly the protocol's request/response order. WrapConn serves
+// dial-side or hand-built scenarios.
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scalefree/internal/rng"
+)
+
+// Faults is one fault profile: per-operation probabilities plus the
+// knobs that bound the chaos. The zero value injects nothing.
+type Faults struct {
+	// DelayProb is the chance each Read/Write sleeps first, for a
+	// uniform duration in [0, DelayMax].
+	DelayProb float64
+	DelayMax  time.Duration
+	// ResetProb is the chance each Read/Write instead closes the
+	// connection and returns an error — the peer observes an abrupt
+	// EOF/reset between messages.
+	ResetProb float64
+	// TruncateProb is the chance a Write delivers only a strict prefix
+	// of its bytes before the connection dies — the peer's framing sees
+	// a line cut mid-byte-stream.
+	TruncateProb float64
+	// PartitionProb is the chance a Read flips the connection into a
+	// one-way partition: inbound data is consumed and discarded forever
+	// (the peer's writes keep succeeding into the void) while this
+	// side's own writes still flow. Only a read deadline or closing the
+	// connection gets the reader back.
+	PartitionProb float64
+	// SplitWrites delivers every Write as several small underlying
+	// writes, stressing the peer's reassembly of protocol lines. Splits
+	// are not counted as injected faults — they are legal TCP behaviour
+	// that a correct peer must absorb.
+	SplitWrites bool
+	// SkipOps exempts each connection's first SkipOps operations from
+	// fault draws (splits and delays excepted), so a test can script
+	// "partition mid-sweep, not at the handshake".
+	SkipOps int
+	// MaxFaults caps the total faults injected across the wrapper
+	// (listener-wide); 0 means unlimited. A capped run eventually goes
+	// quiet, guaranteeing a retrying peer converges.
+	MaxFaults int64
+}
+
+// Default is the moderate profile the CI chaos-smoke job and the
+// -chaos CLI flag use: frequent small delays, occasional resets and
+// truncations, a rare one-way partition, and always-split writes,
+// capped so the sweep converges.
+func Default() Faults {
+	return Faults{
+		DelayProb:     0.10,
+		DelayMax:      25 * time.Millisecond,
+		ResetProb:     0.03,
+		TruncateProb:  0.02,
+		PartitionProb: 0.01,
+		SplitWrites:   true,
+		MaxFaults:     25,
+	}
+}
+
+// Listener wraps an inner listener so every accepted connection
+// injects faults on the profile's schedule. Connection i (1-based
+// accept order) draws from rng.New(rng.DeriveSeed(seed, i)), so the
+// schedule is independent of accept timing.
+type Listener struct {
+	inner    net.Listener
+	seed     uint64
+	faults   Faults
+	accepted atomic.Uint64
+	injected atomic.Int64
+	// Log, if set before serving, receives one line per injected fault.
+	Log func(format string, args ...any)
+}
+
+// Listen wraps lis with the fault profile, scripted from seed.
+func Listen(lis net.Listener, seed uint64, f Faults) *Listener {
+	return &Listener{inner: lis, seed: seed, faults: f}
+}
+
+// Accept wraps the next inner connection with its own fault schedule.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	idx := l.accepted.Add(1)
+	return l.wrap(c, idx), nil
+}
+
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+func (l *Listener) Close() error   { return l.inner.Close() }
+
+// Injected reports how many faults the wrapper has injected so far —
+// chaos tests assert it is nonzero, so a quiet profile cannot
+// silently pass as a chaos run.
+func (l *Listener) Injected() int64 { return l.injected.Load() }
+
+func (l *Listener) wrap(c net.Conn, idx uint64) *Conn {
+	fc := &Conn{
+		Conn:   c,
+		r:      rng.New(rng.DeriveSeed(l.seed, idx)),
+		faults: l.faults,
+		budget: &l.injected,
+		max:    l.faults.MaxFaults,
+	}
+	fc.log = func(event string) {
+		if l.Log != nil {
+			l.Log("faultnet: conn %d: %s", idx, event)
+		}
+	}
+	return fc
+}
+
+// Conn is one fault-injecting connection. All fault draws come from
+// its own RNG stream under a mutex, so concurrent Read/Write (legal on
+// net.Conn) stay race-free; with the single-goroutine usage of the
+// sweep protocol the draw order is fully deterministic.
+type Conn struct {
+	net.Conn
+	mu          sync.Mutex
+	r           *rng.RNG
+	faults      Faults
+	ops         int
+	partitioned bool
+	budget      *atomic.Int64 // shared injected-fault counter
+	max         int64         // 0 = unlimited
+	log         func(event string)
+}
+
+// WrapConn wraps a single connection with its own fault schedule; conn
+// index 1 of a fresh schedule seeded with seed.
+func WrapConn(c net.Conn, seed uint64, f Faults) *Conn {
+	return &Conn{
+		Conn:   c,
+		r:      rng.New(rng.DeriveSeed(seed, 1)),
+		faults: f,
+		budget: new(atomic.Int64),
+		max:    f.MaxFaults,
+		log:    func(string) {},
+	}
+}
+
+// Injected reports the faults this connection's budget counter has
+// recorded (shared across the listener for accepted connections).
+func (c *Conn) Injected() int64 { return c.budget.Load() }
+
+// spend claims one unit of the fault budget; false means the cap is
+// exhausted and the fault must not fire.
+func (c *Conn) spend() bool {
+	if c.max <= 0 {
+		c.budget.Add(1)
+		return true
+	}
+	for {
+		cur := c.budget.Load()
+		if cur >= c.max {
+			return false
+		}
+		if c.budget.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// plan draws this operation's fault decisions. Draw order is fixed
+// (delay, then the op-specific faults) so the schedule depends only on
+// the op sequence, not on which faults previously fired.
+type opPlan struct {
+	delay    time.Duration
+	reset    bool
+	truncate int // bytes to keep, -1 = no truncation
+	part     bool
+}
+
+func (c *Conn) plan(write bool, n int) opPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	p := opPlan{truncate: -1}
+	if c.faults.DelayProb > 0 && c.r.Bernoulli(c.faults.DelayProb) {
+		p.delay = time.Duration(c.r.Float64() * float64(c.faults.DelayMax))
+	}
+	if c.ops <= c.faults.SkipOps {
+		return p
+	}
+	if c.faults.ResetProb > 0 && c.r.Bernoulli(c.faults.ResetProb) {
+		p.reset = true
+		return p
+	}
+	if write {
+		if c.faults.TruncateProb > 0 && n > 1 && c.r.Bernoulli(c.faults.TruncateProb) {
+			p.truncate = c.r.IntRange(0, n-1)
+		}
+	} else {
+		if c.faults.PartitionProb > 0 && c.r.Bernoulli(c.faults.PartitionProb) {
+			p.part = true
+		}
+	}
+	return p
+}
+
+// errInjected is the error surfaced by an injected reset/truncation —
+// a plain connection failure, deliberately not a timeout, so peers
+// classify it like any peer-vanished error.
+type errInjected struct{ what string }
+
+func (e *errInjected) Error() string { return "faultnet: injected " + e.what }
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	part := c.partitioned
+	c.mu.Unlock()
+	if part {
+		return c.discard(p)
+	}
+	pl := c.plan(false, len(p))
+	if pl.delay > 0 {
+		time.Sleep(pl.delay)
+	}
+	if pl.reset && c.spend() {
+		c.log("read reset")
+		c.Conn.Close()
+		return 0, &errInjected{what: "reset"}
+	}
+	if pl.part && c.spend() {
+		c.log("one-way partition (inbound blackholed)")
+		c.mu.Lock()
+		c.partitioned = true
+		c.mu.Unlock()
+		return c.discard(p)
+	}
+	return c.Conn.Read(p)
+}
+
+// discard consumes and drops inbound data forever: the peer's writes
+// succeed (TCP keeps ACKing) but nothing is ever delivered. The only
+// exits are the connection closing or a read deadline expiring —
+// exactly the hang a hung-peer deadline must bound.
+func (c *Conn) discard(p []byte) (int, error) {
+	buf := make([]byte, 4096)
+	for {
+		if _, err := c.Conn.Read(buf); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	pl := c.plan(true, len(p))
+	if pl.delay > 0 {
+		time.Sleep(pl.delay)
+	}
+	if pl.reset && c.spend() {
+		c.log("write reset")
+		c.Conn.Close()
+		return 0, &errInjected{what: "reset"}
+	}
+	if pl.truncate >= 0 && c.spend() {
+		c.log(fmt.Sprintf("write truncated to %d of %d bytes", pl.truncate, len(p)))
+		n, _ := c.Conn.Write(p[:pl.truncate])
+		c.Conn.Close()
+		return n, &errInjected{what: "truncation"}
+	}
+	if !c.faults.SplitWrites || len(p) <= 1 {
+		return c.Conn.Write(p)
+	}
+	// Split the write into small chunks (sizes drawn from the same
+	// stream), so one protocol line arrives as several TCP segments.
+	written := 0
+	for written < len(p) {
+		c.mu.Lock()
+		size := c.r.IntRange(1, 16)
+		c.mu.Unlock()
+		if size > len(p)-written {
+			size = len(p) - written
+		}
+		n, err := c.Conn.Write(p[written : written+size])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

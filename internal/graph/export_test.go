@@ -1,0 +1,11 @@
+package graph
+
+// SetSnapshotForceCopy flips the decode-copy gate (snapshot.go) and
+// returns the previous value, so tests can exercise the portable
+// fallback paths — big-endian casts, element-wise writes, read-instead-
+// of-mmap opens — on the little-endian unix hosts CI runs on.
+func SetSnapshotForceCopy(v bool) bool {
+	old := snapshotForceCopy
+	snapshotForceCopy = v
+	return old
+}

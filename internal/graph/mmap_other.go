@@ -2,21 +2,11 @@
 
 package graph
 
-import (
-	"fmt"
-	"io"
-	"os"
-)
+import "os"
 
 // mapFile on platforms without mmap support reads the file into
-// memory. Snapshots still open correctly, just not zero-copy.
+// memory (snapshot.go's readFileFallback). Snapshots still open
+// correctly, just not zero-copy.
 func mapFile(f *os.File, size int) (data []byte, release func() error, err error) {
-	b, err := io.ReadAll(f)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(b) != size {
-		return nil, nil, fmt.Errorf("read %d bytes, want %d", len(b), size)
-	}
-	return b, func() error { return nil }, nil
+	return readFileFallback(f, size)
 }

@@ -66,6 +66,17 @@ var hostLittleEndian = func() bool {
 	return *(*byte)(unsafe.Pointer(&x)) == 1
 }()
 
+// snapshotForceCopy disables every zero-copy fast path (the casts, the
+// bulk int32 write, and the mmap open), forcing the portable
+// decode-copy code instead — the behaviour of a big-endian or !unix
+// host. Tests flip it (see export_test.go) so the fallback paths get
+// CI coverage on the little-endian unix machines that never take them
+// naturally.
+var snapshotForceCopy bool
+
+// zeroCopyOK gates the unsafe reinterpret paths.
+func zeroCopyOK() bool { return hostLittleEndian && !snapshotForceCopy }
+
 // halfLayoutOK confirms at init time that Half's in-memory layout
 // matches the wire record, the other zero-copy precondition. On an
 // exotic compiler that lays Half out differently the open path falls
@@ -252,7 +263,7 @@ func writeInt32s(bw *bufio.Writer, xs []int32) error {
 	if len(xs) == 0 {
 		return nil
 	}
-	if hostLittleEndian {
+	if zeroCopyOK() {
 		_, err := bw.Write(unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), 4*len(xs)))
 		return err
 	}
@@ -328,7 +339,7 @@ func OpenSnapshot(path string) (*Snapshot, error) {
 	if st.Size() > int64(int(^uint(0)>>1)) {
 		return nil, fmt.Errorf("graph: snapshot %s too large to map: %d bytes", path, st.Size())
 	}
-	data, unmap, err := mapFile(f, int(st.Size()))
+	data, unmap, err := openSnapshotBytes(f, int(st.Size()))
 	if err != nil {
 		return nil, fmt.Errorf("graph: mapping snapshot %s: %w", path, err)
 	}
@@ -338,6 +349,37 @@ func OpenSnapshot(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("graph: snapshot %s: %w", path, err)
 	}
 	return s, nil
+}
+
+// openSnapshotBytes yields the snapshot's bytes: mmap'd where the
+// platform supports it, read into memory otherwise. A map failure
+// (filesystems and FUSE mounts that reject MAP_SHARED, locked-down
+// containers) degrades to the read path instead of failing the open —
+// slower and memory-resident, but correct.
+func openSnapshotBytes(f *os.File, size int) (data []byte, release func() error, err error) {
+	if !snapshotForceCopy {
+		if data, release, err = mapFile(f, size); err == nil {
+			return data, release, nil
+		}
+	}
+	return readFileFallback(f, size)
+}
+
+// readFileFallback reads the whole file into memory — the open path
+// for !unix builds (see mmap_other.go) and the fallback when mapping
+// fails.
+func readFileFallback(f *os.File, size int) (data []byte, release func() error, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b) != size {
+		return nil, nil, fmt.Errorf("read %d bytes, want %d", len(b), size)
+	}
+	return b, func() error { return nil }, nil
 }
 
 // snapshotFromBytes builds the graph view over one snapshot's bytes.
@@ -371,7 +413,7 @@ func castInt32s(b []byte, count int) []int32 {
 	if count == 0 {
 		return nil
 	}
-	if hostLittleEndian {
+	if zeroCopyOK() {
 		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), count)
 	}
 	out := make([]int32, count)
@@ -385,7 +427,7 @@ func castVertices(b []byte, count int) []Vertex {
 	if count == 0 {
 		return nil
 	}
-	if hostLittleEndian {
+	if zeroCopyOK() {
 		return unsafe.Slice((*Vertex)(unsafe.Pointer(&b[0])), count)
 	}
 	xs := castInt32s(b, count)
@@ -400,7 +442,7 @@ func castHalves(b []byte, count int) []Half {
 	if count == 0 {
 		return nil
 	}
-	if hostLittleEndian && halfLayoutOK {
+	if zeroCopyOK() && halfLayoutOK {
 		return unsafe.Slice((*Half)(unsafe.Pointer(&b[0])), count)
 	}
 	out := make([]Half, count)

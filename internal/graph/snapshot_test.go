@@ -107,6 +107,78 @@ func TestSnapshotRoundTripRandom(t *testing.T) {
 	}
 }
 
+// TestSnapshotForceCopyFallback exercises the portable decode-copy
+// paths — element-wise encoding on write, read-into-memory instead of
+// mmap, and per-field decoding of every section on open — which the
+// little-endian unix hosts CI runs on never take naturally. The
+// fallback must be byte-identical on write and graph-identical on
+// read: a snapshot written on a mainstream host opens the same on a
+// big-endian or mmap-less one and vice versa.
+func TestSnapshotForceCopyFallback(t *testing.T) {
+	r := rng.New(11)
+	b := NewBuilder(40, 120)
+	b.AddVertices(40)
+	for i := 0; i < 120; i++ {
+		b.AddEdge(Vertex(r.IntRange(1, 40)), Vertex(r.IntRange(1, 40)))
+	}
+	g := b.Freeze()
+
+	var fast bytes.Buffer
+	if err := WriteSnapshot(&fast, g); err != nil {
+		t.Fatal(err)
+	}
+	prev := SetSnapshotForceCopy(true)
+	defer SetSnapshotForceCopy(prev)
+	var slow bytes.Buffer
+	if err := WriteSnapshot(&slow, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast.Bytes(), slow.Bytes()) {
+		t.Fatal("decode-copy write path produced different bytes than the zero-copy path")
+	}
+
+	// Open through the copy path (readFileFallback + element-wise
+	// casts) and check the graph is operationally identical.
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := os.WriteFile(path, fast.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("copy-path open failed: %v", err)
+	}
+	defer snap.Close()
+	got := snap.Graph()
+	if !Equal(g, got) {
+		t.Fatal("copy-path open changed the edge list")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("copy-path snapshot fails validation: %v", err)
+	}
+	for v := Vertex(1); v <= Vertex(g.NumVertices()); v++ {
+		if g.Degree(v) != got.Degree(v) || g.InDegree(v) != got.InDegree(v) || g.OutDegree(v) != got.OutDegree(v) {
+			t.Fatalf("vertex %d degrees differ through copy path", v)
+		}
+		want, have := g.Incident(v), got.Incident(v)
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("vertex %d incidence slot %d differs through copy path: %+v vs %+v", v, i, want[i], have[i])
+			}
+		}
+	}
+
+	// Both open modes agree with each other too.
+	SetSnapshotForceCopy(false)
+	direct, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	if !Equal(direct.Graph(), got) {
+		t.Fatal("mmap and copy opens disagree")
+	}
+}
+
 // TestSnapshotBytesDeterministic: the same graph always encodes to the
 // same bytes (padding included), so snapshots can be content-addressed.
 func TestSnapshotBytesDeterministic(t *testing.T) {

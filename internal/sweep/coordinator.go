@@ -40,6 +40,32 @@ type CoordOptions struct {
 	// stolen chunks do not re-fire it. Called under the coordinator's
 	// lock — keep it fast.
 	OnResult func(worker, expID string, t engine.Trial)
+	// AuthKey, if non-empty, requires every worker to pass the
+	// shared-key HMAC challenge–response handshake (auth.go). Keyless
+	// or wrong-key workers are rejected at HELLO with a clear error.
+	AuthKey string
+	// DrainTimeout bounds the graceful drain on ctx cancellation: the
+	// coordinator stops issuing leases and waits up to this long for
+	// in-flight chunks to land before failing. <= 0 disables draining
+	// (immediate abort) unless Drain is set, which implies a 10s
+	// default.
+	DrainTimeout time.Duration
+	// Drain, if non-nil, receives each job's completed results (a
+	// private copy, keyed by plan trial index) after a cancelled sweep
+	// finishes draining — the hook the CLI uses to persist partial
+	// progress as SFSHARD1 shard files so a killed sweep resumes via
+	// the -resume/-merge path. Called only when the sweep fails after
+	// draining, once per job with at least one result, with no other
+	// coordinator activity in flight.
+	Drain func(jobIdx int, results map[int]any)
+	// Log, if non-nil, receives coordinator lifecycle lines (auth
+	// rejections, drain progress).
+	Log func(format string, args ...any)
+	// IOTimeout is the per-message wire deadline on worker
+	// connections; <= 0 defaults to 2×LeaseTTL. A worker silent past
+	// it is torn down like a disconnect (leases revoked) — the bound
+	// that keeps a hung peer from pinning a handler goroutine forever.
+	IOTimeout time.Duration
 }
 
 func (o CoordOptions) withDefaults() CoordOptions {
@@ -51,6 +77,9 @@ func (o CoordOptions) withDefaults() CoordOptions {
 	}
 	if o.Linger <= 0 {
 		o.Linger = 3 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 2 * o.LeaseTTL
 	}
 	return o
 }
@@ -75,8 +104,16 @@ func (o CoordOptions) withDefaults() CoordOptions {
 // semantics one retry later; the failing worker keeps serving other
 // chunks, so even a lone worker drives its own retry to the abort. A
 // worker REFUSE (plan mismatch, codec failure — systematic, never
-// chunk-local) aborts immediately. Cancellation of ctx likewise
-// aborts. lis is closed on return.
+// chunk-local) aborts immediately.
+//
+// Cancellation of ctx aborts — immediately by default, or gracefully
+// when DrainTimeout/Drain is configured: the coordinator stops
+// issuing leases, lets in-flight chunks land (bounded by
+// DrainTimeout), and hands each job's completed results to Drain
+// before returning the cancellation error, so partial progress
+// survives as resumable state. If every trial lands during the drain
+// the sweep returns success despite the cancellation. lis is closed
+// on return.
 func Coordinate(ctx context.Context, lis net.Listener, jobs []CoordJob, opts CoordOptions) ([]map[int]any, error) {
 	opts = opts.withDefaults()
 	st, err := newCoordState(jobs, opts)
@@ -102,7 +139,10 @@ func Coordinate(ctx context.Context, lis net.Listener, jobs []CoordJob, opts Coo
 
 	select {
 	case <-ctx.Done():
-		st.fail(ctx.Err())
+		st.drainOrFail(ctx.Err())
+		// drainOrFail returns when the sweep is finished (drained, or
+		// completed mid-drain); fall through to the normal teardown.
+		<-st.done
 	case <-st.done:
 	}
 	lis.Close()
@@ -121,9 +161,64 @@ func Coordinate(ctx context.Context, lis net.Listener, jobs []CoordJob, opts Coo
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.failure != nil {
+		// Hand partial progress to the persistence hook. All handlers
+		// have exited, so the results maps are quiescent; copies keep
+		// the hook from aliasing coordinator state.
+		if st.opts.Drain != nil {
+			for j := range st.jobs {
+				if len(st.results[j]) == 0 {
+					continue
+				}
+				cp := make(map[int]any, len(st.results[j]))
+				for i, v := range st.results[j] {
+					cp[i] = v
+				}
+				st.opts.Drain(j, cp)
+			}
+		}
 		return nil, st.failure
 	}
 	return st.results, nil
+}
+
+// drainOrFail handles ctx cancellation: with no drain configured it
+// aborts immediately (the historical behaviour); otherwise it stops
+// lease issuance and waits — bounded by DrainTimeout — for every
+// in-flight lease to land or expire before recording the failure.
+func (st *coordState) drainOrFail(cause error) {
+	if st.opts.Drain == nil && st.opts.DrainTimeout <= 0 {
+		st.fail(cause)
+		return
+	}
+	timeout := st.opts.DrainTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	st.mu.Lock()
+	if st.finished {
+		st.mu.Unlock()
+		return
+	}
+	st.draining = true
+	st.mu.Unlock()
+	st.logf("sweep: cancelled (%v); draining in-flight leases for up to %v", cause, timeout)
+	deadline := time.Now().Add(timeout)
+	for st.leases.ActiveAfterReclaim() > 0 && time.Now().Before(deadline) {
+		select {
+		case <-st.done:
+			// The last trials landed (success) or something failed hard
+			// mid-drain; either way the outcome is already decided.
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	st.fail(cause)
+}
+
+func (st *coordState) logf(format string, args ...any) {
+	if st.opts.Log != nil {
+		st.opts.Log(format, args...)
+	}
 }
 
 // coordState is the shared state of one Coordinate call.
@@ -136,6 +231,7 @@ type coordState struct {
 	remaining int
 	failure   error
 	finished  bool
+	draining  bool // cancelled; in-flight leases landing, none issued
 	done      chan struct{}
 	leases    *leaseTable
 	opts      CoordOptions
@@ -227,6 +323,12 @@ func (st *coordState) isOver() bool {
 	return st.finished
 }
 
+func (st *coordState) isDraining() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.draining && !st.finished
+}
+
 // finishLine renders the sweep's terminal reply: DONE on success,
 // ABORT with the cause on failure.
 func (st *coordState) finishLine() string {
@@ -269,7 +371,12 @@ func (st *coordState) closeConns() {
 // goes away is revoked immediately — a visible disconnect reassigns
 // faster than waiting out the TTL.
 func (st *coordState) handle(conn net.Conn) {
-	wc := newWireConn(conn)
+	// Per-message deadline: a worker that stops making protocol
+	// progress for this long (default two lease TTLs) is
+	// indistinguishable from a dead one and its connection is torn
+	// down (revoking its leases), so a hung peer never outlives the
+	// lease it holds by more than the reclaim already tolerates.
+	wc := newWireConn(conn, st.opts.IOTimeout)
 	st.mu.Lock()
 	st.connSeq++
 	connID := st.connSeq
@@ -284,12 +391,20 @@ func (st *coordState) handle(conn net.Conn) {
 	}()
 
 	worker := ""
+	helloed := false
 	for {
 		line, err := wc.recv()
 		if err != nil {
 			return
 		}
 		verb, fields := splitMsg(line)
+		// The handshake (including authentication) must complete before
+		// any other verb is served — otherwise a peer could skip
+		// straight past a required AUTH exchange.
+		if !helloed && verb != "HELLO" {
+			wc.send("ERR " + quoteMsg("HELLO required before any other verb"))
+			return
+		}
 		switch verb {
 		case "HELLO":
 			if len(fields) < 1 || fields[0] != protoVersion {
@@ -299,6 +414,10 @@ func (st *coordState) handle(conn net.Conn) {
 			if len(fields) > 1 {
 				worker = fields[1]
 			}
+			if !st.authenticate(wc, worker, fields) {
+				return
+			}
+			helloed = true
 			hb := st.opts.LeaseTTL / 3
 			if hb < time.Millisecond {
 				hb = time.Millisecond
@@ -393,13 +512,63 @@ func (st *coordState) handle(conn net.Conn) {
 	}
 }
 
+// authenticate runs the coordinator's half of the CHAL/AUTH exchange
+// when a key is configured (wire.go documents the flow). It reports
+// whether the session may proceed; on rejection the ERR has been sent
+// and the connection must close. fields are HELLO's: version, name,
+// optional client nonce.
+func (st *coordState) authenticate(wc *wireConn, worker string, fields []string) bool {
+	key := []byte(st.opts.AuthKey)
+	if len(key) == 0 {
+		if len(fields) > 2 {
+			// The worker offered an auth nonce we cannot answer: it is
+			// keyed and we are not. Refusing beats silently running a
+			// sweep the operator believed was authenticated.
+			st.logf("worker %s: rejected: worker requires authentication, coordinator has no key", worker)
+			wc.send("ERR " + quoteMsg("worker requires authentication but coordinator has no key configured"))
+			return false
+		}
+		return true
+	}
+	if len(fields) < 3 {
+		st.logf("worker %s: rejected: authentication required, no nonce offered", worker)
+		wc.send("ERR " + quoteMsg("authentication required: configure the shared key on this worker"))
+		return false
+	}
+	clientNonce := fields[2]
+	coordNonce, err := newAuthNonce()
+	if err != nil {
+		wc.send("ERR " + quoteMsg(err.Error()))
+		return false
+	}
+	if err := wc.send("CHAL " + coordNonce + " " + authProof(key, authCoordLabel, clientNonce)); err != nil {
+		return false
+	}
+	line, err := wc.recv()
+	if err != nil {
+		return false
+	}
+	verb, f := splitMsg(line)
+	if verb != "AUTH" || len(f) != 1 || !verifyAuthProof(key, authWorkerLabel, coordNonce, f[0]) {
+		st.logf("worker %s: rejected: shared-key proof mismatch", worker)
+		wc.send("ERR " + quoteMsg("authentication failed: shared-key proof mismatch"))
+		return false
+	}
+	return true
+}
+
 // serveNext answers one NEXT: a lease, a WAIT (everything leased out
-// and alive), DONE (sweep complete), or ABORT (sweep failed) — the
-// DONE/ABORT distinction lets an idle worker on a failed sweep exit
-// nonzero instead of reporting success.
+// and alive, or the coordinator is draining), DONE (sweep complete),
+// or ABORT (sweep failed) — the DONE/ABORT distinction lets an idle
+// worker on a failed sweep exit nonzero instead of reporting success.
 func (st *coordState) serveNext(wc *wireConn, worker string, connID uint64) error {
 	if st.isOver() {
 		return wc.send(st.finishLine())
+	}
+	if st.isDraining() {
+		// No new leases while draining; idle workers poll until the
+		// drain resolves into DONE or ABORT.
+		return wc.send("WAIT 20")
 	}
 	if l, ok := st.leases.Acquire(worker, connID); ok {
 		job := st.jobs[l.Chunk.JobIdx]

@@ -315,7 +315,7 @@ func dialDeadWorker(t *testing.T, addr, name string) *deadWorker {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wc := newWireConn(conn)
+	wc := newWireConn(conn, 0)
 	if err := wc.send("HELLO " + protoVersion + " " + name); err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +420,11 @@ func TestCoordinateLateDuplicateAccepted(t *testing.T) {
 	addr, outcome, cancel := startCoordinator(t,
 		[]CoordJob{{Job: job, Trials: trials}},
 		CoordOptions{ChunkSize: 4, LeaseTTL: 100 * time.Millisecond, Linger: time.Second,
-			OnResult: func(worker, expID string, tr engine.Trial) { completions.Add(1) }})
+			// The hand-driven slow worker goes silent past the default
+			// wire deadline; keep its connection alive for the late
+			// delivery under test.
+			IOTimeout: time.Minute,
+			OnResult:  func(worker, expID string, tr engine.Trial) { completions.Add(1) }})
 	defer cancel()
 
 	slow := dialDeadWorker(t, addr, "slow")
@@ -701,10 +705,11 @@ func TestCoordinateFailOnCoveredChunkIgnored(t *testing.T) {
 }
 
 // TestWorkerHeartbeatLossIsFatalNotChunkFail: a connection loss during
-// chunk execution is a transport fault, not a trial fault — the worker
-// exits with the heartbeat cause and records no local chunk failure,
-// leaving the chunk's retry budget untouched (the coordinator's
-// disconnect reclaim requeues it).
+// chunk execution is a transport fault, not a trial fault — with
+// reconnection disabled (DialRetries < 0) the worker exits with the
+// heartbeat cause and records no local chunk failure, leaving the
+// chunk's retry budget untouched (the coordinator's disconnect
+// reclaim requeues it).
 func TestWorkerHeartbeatLossIsFatalNotChunkFail(t *testing.T) {
 	trials := makeTrials(4)
 	job := testJob(trials)
@@ -728,7 +733,7 @@ func TestWorkerHeartbeatLossIsFatalNotChunkFail(t *testing.T) {
 		}, nil
 	}
 	_, err := RunWorker(context.Background(), addr, resolver,
-		WorkerOptions{Name: "w", Heartbeat: 30 * time.Millisecond})
+		WorkerOptions{Name: "w", Heartbeat: 30 * time.Millisecond, DialRetries: -1})
 	if err == nil || !strings.Contains(err.Error(), "heartbeat connection to coordinator lost") {
 		t.Fatalf("worker err = %v, want the heartbeat transport cause", err)
 	}
@@ -748,7 +753,9 @@ func TestCoordinateLateNondeterminismStillAborts(t *testing.T) {
 	job := testJob(trials)
 	addr, outcome, cancel := startCoordinator(t,
 		[]CoordJob{{Job: job, Trials: trials}},
-		CoordOptions{ChunkSize: 4, LeaseTTL: 100 * time.Millisecond, Linger: time.Second})
+		// IOTimeout keeps the deliberately-silent worker's connection
+		// alive past the default wire deadline for the late delivery.
+		CoordOptions{ChunkSize: 4, LeaseTTL: 100 * time.Millisecond, Linger: time.Second, IOTimeout: time.Minute})
 	defer cancel()
 
 	slow := dialDeadWorker(t, addr, "slow")

@@ -152,6 +152,16 @@ func (lt *leaseTable) Complete(id uint64) (chunk, bool) {
 	return l.Chunk, true
 }
 
+// ActiveAfterReclaim reports how many leases remain live after
+// reclaiming expired ones — the drain loop polls it to decide when
+// every in-flight chunk has either landed or timed out.
+func (lt *leaseTable) ActiveAfterReclaim() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.reclaimExpiredLocked()
+	return len(lt.active)
+}
+
 // Requeue returns a chunk to the pending queue — the coverage
 // backstop for a COMPLETE whose results did not all arrive.
 func (lt *leaseTable) Requeue(c chunk) {

@@ -222,6 +222,100 @@ func TestOpenCacheReapsStaleTemps(t *testing.T) {
 	_ = c
 }
 
+// TestCacheEvictTo: eviction is LRU by mtime with a hard guarantee —
+// entries written or touched by the current run (at or after
+// OpenCache) are never removed, no matter how small the bound. Old
+// entries are simulated by backdating mtimes, exactly what a cache
+// directory inherited from last week's sweeps looks like.
+func TestCacheEvictTo(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := makeTrials(6)
+	job := testJob(trials)
+	keys := make([]string, len(trials))
+	for i, tr := range trials {
+		keys[i] = CacheKey(job.ExpID, job.Fingerprint, tr)
+		if err := c.Put(keys[i], job.Fingerprint, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entries 0-3 predate this run; 4 and 5 are the current run's own
+	// writes and stay fresh.
+	for i := 0; i <= 3; i++ {
+		old := time.Now().Add(-time.Duration(4-i) * time.Hour)
+		if err := os.Chtimes(c.path(keys[i]), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A Get refreshes the entry's recency: entry 3 becomes part of the
+	// current run's working set and must survive any eviction.
+	if _, ok := c.Get(keys[3]); !ok {
+		t.Fatal("miss on backdated entry")
+	}
+
+	stats, err := c.EvictTo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 3 {
+		t.Errorf("EvictTo(0) removed %d entries, want the 3 stale ones", stats.Entries)
+	}
+	if stats.Kept == 0 {
+		t.Error("EvictTo(0) reports nothing kept despite protected entries")
+	}
+	for i, key := range keys {
+		_, ok := c.Get(key)
+		if want := i >= 3; ok != want {
+			t.Errorf("after eviction, entry %d present = %v, want %v", i, ok, want)
+		}
+	}
+
+	// LRU order: with a bound that forces out exactly one entry, the
+	// oldest goes and the rest stay.
+	c2, err := OpenCache(filepath.Join(t.TempDir(), "cache2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	var sizes [3]int64
+	for i := 0; i < 3; i++ {
+		if err := c2.Put(keys[i], job.Fingerprint, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(c2.path(keys[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = info.Size()
+		total += info.Size()
+		old := time.Now().Add(-time.Duration(3-i) * time.Hour)
+		if err := os.Chtimes(c2.path(keys[i]), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err = c2.EvictTo(total - sizes[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 1 || stats.Bytes != sizes[0] {
+		t.Errorf("EvictTo removed %d entries / %d bytes, want the single oldest (%d bytes)", stats.Entries, stats.Bytes, sizes[0])
+	}
+	if _, ok := c2.Get(keys[0]); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := c2.Get(keys[i]); !ok {
+			t.Errorf("entry %d evicted out of LRU order", i)
+		}
+	}
+
+	if _, err := c2.EvictTo(-1); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
 // TestCacheGCByFingerprint: GC removes exactly one fingerprint's
 // entries plus temp and corrupt files, leaving other runs' entries
 // usable.

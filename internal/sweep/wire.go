@@ -18,7 +18,8 @@ import (
 //
 // Client (worker) lines:
 //
-//	HELLO SFCOORD2 <name>                     open the session
+//	HELLO SFCOORD3 <name> [<nonce-hex>]       open the session (nonce iff keyed)
+//	AUTH <proof-hex>                          answer a CHAL challenge
 //	NEXT                                      request a chunk lease
 //	PING <leaseID>                            heartbeat while executing
 //	RESULT <leaseID> <expID> <trialIdx> <hex> one trial's encoded result
@@ -28,7 +29,8 @@ import (
 //
 // Server (coordinator) lines:
 //
-//	OK [<heartbeat-millis>]           HELLO/COMPLETE acknowledgement
+//	OK [<heartbeat-millis>]           HELLO/AUTH/COMPLETE acknowledgement
+//	CHAL <nonce-hex> <proof-hex>      auth challenge + coordinator's own proof
 //	LEASE <id> <expID> <fp> <lo> <hi> a chunk: trials [lo,hi) of expID
 //	WAIT <millis>                     nothing leasable now; poll again
 //	DONE                              the sweep succeeded; disconnect
@@ -36,40 +38,78 @@ import (
 //	GONE                              the lease was revoked (PING/COMPLETE)
 //	ERR <quoted-msg>                  protocol failure; connection closes
 //
-// Exchange discipline: HELLO, NEXT, PING, COMPLETE, FAIL and REFUSE
-// are request/response (exactly one reply line each); RESULT lines are
-// fire-and-forget so a worker streams a chunk's results without a
-// round trip per trial — the COMPLETE that follows them is the
-// synchronization point. Results are valid even when their lease was
-// revoked: trials are pure and content-addressed, so the coordinator
-// accepts the value and resolves the duplicate by comparing encoded
-// bytes.
+// Exchange discipline: HELLO, AUTH, NEXT, PING, COMPLETE, FAIL and
+// REFUSE are request/response (exactly one reply line each); RESULT
+// lines are fire-and-forget so a worker streams a chunk's results
+// without a round trip per trial — the COMPLETE that follows them is
+// the synchronization point. Results are valid even when their lease
+// was revoked: trials are pure and content-addressed, so the
+// coordinator accepts the value and resolves the duplicate by
+// comparing encoded bytes.
+//
+// Authentication (optional, shared-key HMAC, DESIGN.md §6.6): a keyed
+// worker appends a random nonce to HELLO; a keyed coordinator answers
+// CHAL carrying its own nonce plus HMAC(key, coordinator-label ‖
+// worker-nonce) — proving it holds the key before the worker reveals
+// anything — and the worker replies AUTH HMAC(key, worker-label ‖
+// coordinator-nonce), acknowledged by the usual OK. Either side
+// missing or failing its proof is rejected at the handshake with ERR,
+// so mixed keyed/keyless fleets and wrong-key workers die loudly
+// instead of running unauthenticated or hanging.
+//
 // SFCOORD1 → SFCOORD2: REFUSE was added and FAIL became retriable
 // (re-lease once) instead of abort-the-sweep; mixed-version fleets
 // must die at the handshake, not hang on an unknown verb or retry a
-// systematic failure.
-const protoVersion = "SFCOORD2"
+// systematic failure. SFCOORD2 → SFCOORD3: the CHAL/AUTH handshake
+// extension and the HELLO nonce field (the handshake *sequence* is
+// unchanged for keyless fleets, but deadline-hardened peers are not
+// interoperable with SFCOORD2's unbounded blocking reads, so the
+// version gate keeps mixed fleets out).
+const protoVersion = "SFCOORD3"
 
 // wireMaxLine bounds one protocol line. Encoded trial results are
 // small (tens of bytes of struct fields, doubled by hex), so 1 MiB is
 // generous headroom rather than a practical limit.
 const wireMaxLine = 1 << 20
 
-// wireConn frames a TCP connection into protocol lines.
+// wireConn frames a TCP connection into protocol lines. A nonzero
+// timeout arms a fresh read/write deadline before every operation, so
+// a hung peer (one-way partition, stalled TCP window) surfaces as a
+// timeout error within one timeout period instead of blocking the
+// handler goroutine forever — the bound that keeps a hung worker from
+// outliving its lease TTL and a hung coordinator from pinning a
+// worker.
 type wireConn struct {
-	conn net.Conn
-	r    *bufio.Scanner
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Scanner
+	w       *bufio.Writer
+	timeout time.Duration // per-operation deadline; 0 = block forever
 }
 
-func newWireConn(conn net.Conn) *wireConn {
+func newWireConn(conn net.Conn, ioTimeout time.Duration) *wireConn {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), wireMaxLine)
-	return &wireConn{conn: conn, r: sc, w: bufio.NewWriter(conn)}
+	return &wireConn{conn: conn, r: sc, w: bufio.NewWriter(conn), timeout: ioTimeout}
+}
+
+// armWrite/armRead push the deadline forward before an operation; each
+// message restarts the clock, so only a genuinely stalled peer trips
+// it.
+func (c *wireConn) armWrite() {
+	if c.timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+func (c *wireConn) armRead() {
+	if c.timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
 }
 
 // send writes one line and flushes it.
 func (c *wireConn) send(line string) error {
+	c.armWrite()
 	if _, err := c.w.WriteString(line); err != nil {
 		return err
 	}
@@ -80,8 +120,11 @@ func (c *wireConn) send(line string) error {
 }
 
 // buffer queues one line without flushing — used for RESULT streams,
-// flushed by the COMPLETE that follows.
+// flushed by the COMPLETE that follows. The write deadline is armed
+// anyway: a full bufio buffer flushes implicitly, and that hidden
+// write must be bounded too.
 func (c *wireConn) buffer(line string) error {
+	c.armWrite()
 	if _, err := c.w.WriteString(line); err != nil {
 		return err
 	}
@@ -91,6 +134,7 @@ func (c *wireConn) buffer(line string) error {
 // recv reads one line. An EOF or read error surfaces as-is; the
 // caller decides whether a vanished peer is fatal.
 func (c *wireConn) recv() (string, error) {
+	c.armRead()
 	if !c.r.Scan() {
 		if err := c.r.Err(); err != nil {
 			return "", err

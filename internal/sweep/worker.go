@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scalefree/internal/engine"
+	"scalefree/internal/rng"
 )
 
 // WorkerJob is the worker-local counterpart of a CoordJob: the plan's
@@ -38,9 +39,37 @@ type WorkerOptions struct {
 	// Heartbeat overrides the coordinator-announced PING interval
 	// (tests); <= 0 uses the announced value.
 	Heartbeat time.Duration
-	// Log, if non-nil, receives one line per lease processed.
+	// AuthKey, if non-empty, authenticates the handshake by shared-key
+	// HMAC challenge–response (auth.go). Both sides must agree: a
+	// keyed worker refuses a keyless coordinator and vice versa.
+	AuthKey string
+	// DialRetries bounds consecutive failed connection attempts (dial
+	// failures, dropped sessions with no protocol progress) before
+	// RunWorker gives up. 0 means the default of 10; negative means a
+	// single attempt with no retry. The counter resets every time a
+	// coordinator reply parses, so a long sweep over a flaky link
+	// retries indefinitely while a dead address still fails promptly.
+	DialRetries int
+	// ReconnectBase and ReconnectMax bound the exponential backoff
+	// between attempts (defaults 100ms and 5s); the actual sleep is
+	// jittered uniformly in [d/2, d) so a restarted coordinator is not
+	// hit by its whole fleet at once.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// IOTimeout is the per-message wire deadline after the handshake;
+	// <= 0 derives max(4×heartbeat, 1s), so a partitioned or hung
+	// coordinator surfaces as a reconnectable error instead of a
+	// worker pinned in a read forever.
+	IOTimeout time.Duration
+	// Log, if non-nil, receives one line per lease processed and per
+	// reconnection attempt.
 	Log func(format string, args ...any)
 }
+
+const (
+	defaultDialRetries     = 10
+	workerHandshakeTimeout = 10 * time.Second
+)
 
 // RunWorker connects to a coordinator, pulls chunk leases until the
 // coordinator reports the sweep done, executes each chunk via the
@@ -52,6 +81,16 @@ type WorkerOptions struct {
 // returned stats aggregate what this worker executed and what its
 // local cache satisfied.
 //
+// Transport failures are never fatal while retries remain: a failed
+// dial (coordinator slow to start), a dropped or partitioned
+// connection, or a line that does not parse all tear the session down
+// and reconnect with exponential backoff + jitter, resuming the NEXT
+// loop. Work abandoned mid-chunk is re-leased by the coordinator's
+// disconnect revoke or TTL steal, and re-delivered results are
+// resolved by encoded-byte equality, so reconnection never perturbs
+// the table. Protocol-level rejections (version mismatch, failed
+// authentication, ABORT, ERR) are fatal immediately.
+//
 // A chunk whose execution fails is reported to the coordinator as
 // FAIL (which re-leases it once, see Coordinate) and the worker keeps
 // pulling further chunks — the retry needs a live worker to land on,
@@ -62,90 +101,267 @@ type WorkerOptions struct {
 // REFUSE, which aborts the sweep immediately on both sides.
 func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts WorkerOptions) (Stats, error) {
 	var stats Stats
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return stats, fmt.Errorf("sweep: worker connecting to %s: %w", addr, err)
-	}
-	wc := newWireConn(conn)
-	defer wc.close()
-	// Unblock any in-flight read when the caller cancels.
-	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
-	defer stopWatch()
-
 	name := opts.Name
 	if name == "" {
 		host, _ := os.Hostname()
 		name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
-	if err := wc.send(fmt.Sprintf("HELLO %s %s", protoVersion, name)); err != nil {
-		return stats, fmt.Errorf("sweep: worker handshake: %w", err)
+	retries := opts.DialRetries
+	switch {
+	case retries == 0:
+		retries = defaultDialRetries
+	case retries < 0:
+		retries = 1
 	}
-	line, err := wc.recv()
-	if err != nil {
-		return stats, fmt.Errorf("sweep: worker handshake: %w", err)
+	base := opts.ReconnectBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
 	}
-	verb, fields := splitMsg(line)
-	if verb != "OK" {
-		return stats, fmt.Errorf("sweep: coordinator rejected handshake: %s", line)
+	maxBackoff := opts.ReconnectMax
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
 	}
-	heartbeat := opts.Heartbeat
-	if heartbeat <= 0 && len(fields) > 0 {
-		if hb, err := parseMillis(fields[0]); err == nil && hb > 0 {
-			heartbeat = hb
-		}
-	}
-	if heartbeat <= 0 {
-		heartbeat = 3 * time.Second
-	}
+	// Jitter only desynchronizes fleet retries; it never feeds trial
+	// results, so a wall-clock seed does not touch determinism.
+	jitter := rng.New(rng.DeriveSeed(uint64(time.Now().UnixNano()), uint64(os.Getpid())))
 
 	var failed []*chunkFailure
+	attempts := 0 // consecutive attempts without protocol progress
 	for {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
+		sess, err := dialWorkerSession(ctx, addr, name, opts)
+		if err == nil {
+			err = serveSession(ctx, sess, resolve, &stats, &failed, func() { attempts = 0 }, opts)
+			sess.close()
+			if err == nil {
+				if len(failed) > 0 {
+					// The sweep converged (retries landed elsewhere, or a
+					// later attempt here succeeded), but this host failed
+					// chunks — exit nonzero so the machine gets looked at.
+					return stats, fmt.Errorf("sweep: completed, but this worker failed %d chunk(s) locally (first: %v)",
+						len(failed), failed[0])
+				}
+				return stats, nil
+			}
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return stats, ctxErr
+		}
+		var te *transportError
+		if !errors.As(err, &te) {
+			return stats, err
+		}
+		attempts++
+		if attempts >= retries {
+			return stats, fmt.Errorf("sweep: worker giving up on %s after %d consecutive connection attempts: %w", addr, attempts, err)
+		}
+		delay := backoffDelay(base, maxBackoff, attempts, jitter)
+		if opts.Log != nil {
+			opts.Log("connection attempt %d/%d failed (%v); retrying in %v", attempts, retries, err, delay.Round(time.Millisecond))
+		}
+		select {
+		case <-ctx.Done():
+			return stats, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// backoffDelay doubles from base toward max with attempt count, then
+// jitters uniformly into [d/2, d).
+func backoffDelay(base, max time.Duration, attempt int, jitter *rng.RNG) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(jitter.Float64()*float64(d/2))
+}
+
+// workerSession is one dialed, handshaken connection to the
+// coordinator.
+type workerSession struct {
+	wc        *wireConn
+	heartbeat time.Duration
+	stopWatch func() bool
+}
+
+func (s *workerSession) close() {
+	s.stopWatch()
+	s.wc.close()
+}
+
+// dialWorkerSession dials the coordinator and completes the HELLO (and
+// optional CHAL/AUTH) handshake. Transport failures come back as
+// *transportError (retriable); rejections are fatal.
+func dialWorkerSession(ctx context.Context, addr, name string, opts WorkerOptions) (*workerSession, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, &transportError{err: fmt.Errorf("sweep: worker connecting to %s: %w", addr, err)}
+	}
+	wc := newWireConn(conn, workerHandshakeTimeout)
+	// Unblock any in-flight read when the caller cancels.
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
+	sess := &workerSession{wc: wc, stopWatch: stopWatch}
+	if err := sess.handshake(name, opts); err != nil {
+		sess.close()
+		return nil, err
+	}
+	// Steady-state wire deadline: generous multiple of the heartbeat,
+	// so a healthy coordinator never trips it but a hung one cannot
+	// pin this worker past a few heartbeat periods.
+	io := opts.IOTimeout
+	if io <= 0 {
+		io = 4 * sess.heartbeat
+		if io < time.Second {
+			io = time.Second
+		}
+	}
+	wc.timeout = io
+	return sess, nil
+}
+
+// handshake runs HELLO and, when a key is configured, the CHAL/AUTH
+// exchange (wire.go documents the flow).
+func (s *workerSession) handshake(name string, opts WorkerOptions) error {
+	key := []byte(opts.AuthKey)
+	hello := fmt.Sprintf("HELLO %s %s", protoVersion, name)
+	var clientNonce string
+	if len(key) > 0 {
+		n, err := newAuthNonce()
+		if err != nil {
+			return err
+		}
+		clientNonce = n
+		hello += " " + clientNonce
+	}
+	if err := s.wc.send(hello); err != nil {
+		return &transportError{err: fmt.Errorf("sweep: worker handshake: %w", err)}
+	}
+	line, err := s.wc.recv()
+	if err != nil {
+		return &transportError{err: fmt.Errorf("sweep: worker handshake: %w", err)}
+	}
+	verb, fields := splitMsg(line)
+	switch verb {
+	case "OK":
+		if len(key) > 0 {
+			// A keyless coordinator accepted us without proving it holds
+			// the key. Refuse to run unauthenticated: a keyed fleet must
+			// be keyed end to end.
+			return fmt.Errorf("sweep: coordinator does not require authentication but this worker has a key configured; refusing to run unauthenticated")
+		}
+	case "CHAL":
+		if len(key) == 0 {
+			return fmt.Errorf("sweep: coordinator requires shared-key authentication but this worker has no key configured")
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf("sweep: malformed CHAL %q", line)
+		}
+		coordNonce, coordProof := fields[0], fields[1]
+		// Answer before verifying the coordinator's proof: with
+		// mismatched keys both proofs fail, and sending ours first lets
+		// the coordinator log its side of the mismatch too, so the
+		// failure is diagnosable from either end.
+		if err := s.wc.send("AUTH " + authProof(key, authWorkerLabel, coordNonce)); err != nil {
+			return &transportError{err: fmt.Errorf("sweep: worker auth: %w", err)}
+		}
+		okLine, rerr := s.wc.recv()
+		if !verifyAuthProof(key, authCoordLabel, clientNonce, coordProof) {
+			msg := "sweep: coordinator failed its shared-key proof (key mismatch?)"
+			if rerr == nil {
+				if v, f := splitMsg(okLine); v == "ERR" {
+					msg += "; coordinator says: " + unquoteMsg(f)
+				}
+			}
+			return errors.New(msg)
+		}
+		if rerr != nil {
+			return &transportError{err: fmt.Errorf("sweep: worker auth: %w", rerr)}
+		}
+		v, f := splitMsg(okLine)
+		if v != "OK" {
+			if v == "ERR" {
+				return fmt.Errorf("sweep: coordinator rejected authentication: %s", unquoteMsg(f))
+			}
+			return fmt.Errorf("sweep: coordinator rejected authentication: %s", okLine)
+		}
+		fields = f
+	case "ERR":
+		return fmt.Errorf("sweep: coordinator rejected handshake: %s", unquoteMsg(fields))
+	default:
+		// Anything else (a truncated or fault-mangled line) is a
+		// transport problem: reconnect and try again.
+		return &transportError{err: fmt.Errorf("sweep: unexpected handshake reply %q", line)}
+	}
+	hb := opts.Heartbeat
+	if hb <= 0 && len(fields) > 0 {
+		if v, err := parseMillis(fields[0]); err == nil && v > 0 {
+			hb = v
+		}
+	}
+	if hb <= 0 {
+		hb = 3 * time.Second
+	}
+	s.heartbeat = hb
+	return nil
+}
+
+// serveSession runs the NEXT loop over one session. It returns nil on
+// DONE; a *transportError for anything that a reconnection can heal;
+// and a plain error for protocol-level finality (ABORT, ERR, refusal,
+// context cancellation). progress is called whenever a coordinator
+// reply parses, resetting the caller's consecutive-failure budget.
+func serveSession(ctx context.Context, sess *workerSession, resolve WorkerJobResolver, stats *Stats, failed *[]*chunkFailure, progress func(), opts WorkerOptions) error {
+	wc := sess.wc
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := wc.send("NEXT"); err != nil {
-			return stats, fmt.Errorf("sweep: worker requesting chunk: %w", err)
+			return &transportError{err: fmt.Errorf("sweep: worker requesting chunk: %w", err)}
 		}
 		line, err := wc.recv()
 		if err != nil {
-			return stats, fmt.Errorf("sweep: worker requesting chunk: %w", err)
+			return &transportError{err: fmt.Errorf("sweep: worker requesting chunk: %w", err)}
 		}
 		verb, fields := splitMsg(line)
 		switch verb {
 		case "DONE":
-			if len(failed) > 0 {
-				// The sweep converged (retries landed elsewhere, or a
-				// later attempt here succeeded), but this host failed
-				// chunks — exit nonzero so the machine gets looked at.
-				return stats, fmt.Errorf("sweep: completed, but this worker failed %d chunk(s) locally (first: %v)",
-					len(failed), failed[0])
-			}
-			return stats, nil
+			progress()
+			return nil
 		case "ABORT":
 			// The sweep failed elsewhere (another worker's trial error
 			// or config skew); exit nonzero so this worker's machine
 			// also shows the failure.
-			return stats, fmt.Errorf("sweep: aborted: %s", unquoteMsg(fields))
+			progress()
+			return fmt.Errorf("sweep: aborted: %s", unquoteMsg(fields))
 		case "WAIT":
+			progress()
 			if len(fields) != 1 {
-				return stats, fmt.Errorf("sweep: malformed WAIT %q", line)
+				return &transportError{err: fmt.Errorf("sweep: malformed WAIT %q", line)}
 			}
 			d, err := parseMillis(fields[0])
 			if err != nil {
-				return stats, err
+				return &transportError{err: err}
 			}
 			select {
 			case <-ctx.Done():
-				return stats, ctx.Err()
+				return ctx.Err()
 			case <-time.After(d):
 			}
 		case "LEASE":
+			progress()
 			m, err := parseLease(fields)
 			if err != nil {
-				return stats, err
+				return &transportError{err: err}
 			}
-			chunkStats, err := runLease(ctx, wc, m, resolve, heartbeat, opts.Log)
+			chunkStats, err := runLease(ctx, wc, m, resolve, sess.heartbeat, opts.Log)
 			stats.Executed += chunkStats.Executed
 			stats.CacheHits += chunkStats.CacheHits
 			if err != nil {
@@ -155,24 +371,25 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 					// FAIL; keep serving — the sweep continues until
 					// the chunk's second failure, and the re-lease
 					// needs a live worker.
-					failed = append(failed, cf)
+					*failed = append(*failed, cf)
 					continue
 				}
-				return stats, err
+				return err
 			}
 		case "ERR":
-			return stats, fmt.Errorf("sweep: coordinator: %s", unquoteMsg(fields))
+			progress()
+			return fmt.Errorf("sweep: coordinator: %s", unquoteMsg(fields))
 		default:
-			return stats, fmt.Errorf("sweep: unexpected coordinator reply %q", line)
+			return &transportError{err: fmt.Errorf("sweep: unexpected coordinator reply %q", line)}
 		}
 	}
 }
 
-// transportError marks a heartbeat send/recv failure: the connection
-// to the coordinator is gone, which is fatal to this worker but must
-// not be reported — or counted — as a chunk failure. The
-// coordinator's disconnect/TTL reclaim requeues the chunk without
-// debiting its one-retry budget; a network blip is not a trial fault.
+// transportError marks a connection-level failure: dial errors,
+// send/recv failures, and lines mangled past parsing. Transport loss
+// is retriable by reconnection — the coordinator's disconnect/TTL
+// reclaim requeues any mid-flight chunk without debiting its
+// one-retry budget; a network blip is not a trial fault.
 type transportError struct{ err error }
 
 func (e *transportError) Error() string { return e.err.Error() }
@@ -198,7 +415,8 @@ func (c *chunkFailure) Unwrap() error { return c.err }
 // revoked lease (stolen chunk) is not an error: the work is abandoned
 // and the caller polls for the next chunk. An execution failure comes
 // back as a *chunkFailure (reported to the coordinator as FAIL,
-// retriable); every other error is fatal to this worker.
+// retriable); transport loss as a *transportError (the session
+// reconnects); every other error is fatal to this worker.
 func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobResolver, heartbeat time.Duration, logf func(string, ...any)) (Stats, error) {
 	job, err := resolve(m.ExpID, m.Fingerprint)
 	if err == nil && m.Hi > len(job.Trials) {
@@ -230,11 +448,11 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 		}
 		var te *transportError
 		if errors.As(err, &te) {
-			// The connection broke mid-chunk: worker-fatal, but not a
-			// chunk failure — the coordinator's disconnect/TTL reclaim
+			// The connection broke mid-chunk: tear the session down and
+			// reconnect. The coordinator's disconnect/TTL reclaim
 			// requeues the work without touching its retry budget, and
 			// a FAIL could not be delivered anyway.
-			return stats, fmt.Errorf("sweep: lease %d: heartbeat connection to coordinator lost: %w", m.ID, te.Unwrap())
+			return stats, &transportError{err: fmt.Errorf("sweep: lease %d: heartbeat connection to coordinator lost: %w", m.ID, te.Unwrap())}
 		}
 		sendFail(wc, "FAIL", m.ID, err)
 		if logf != nil {
@@ -261,15 +479,15 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 			return stats, fmt.Errorf("sweep: encoding %s trial %d: %w", m.ExpID, i, err)
 		}
 		if err := wc.buffer(formatResult(m.ID, m.ExpID, i, payload)); err != nil {
-			return stats, fmt.Errorf("sweep: streaming results: %w", err)
+			return stats, &transportError{err: fmt.Errorf("sweep: streaming results: %w", err)}
 		}
 	}
 	if err := wc.send(fmt.Sprintf("COMPLETE %d", m.ID)); err != nil {
-		return stats, fmt.Errorf("sweep: completing lease: %w", err)
+		return stats, &transportError{err: fmt.Errorf("sweep: completing lease: %w", err)}
 	}
 	line, err := wc.recv()
 	if err != nil {
-		return stats, fmt.Errorf("sweep: completing lease: %w", err)
+		return stats, &transportError{err: fmt.Errorf("sweep: completing lease: %w", err)}
 	}
 	switch verb, fields := splitMsg(line); verb {
 	case "OK", "GONE": // GONE: lease was stolen but the results were accepted
@@ -277,7 +495,7 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 	case "ERR":
 		return stats, fmt.Errorf("sweep: coordinator: %s", unquoteMsg(fields))
 	default:
-		return stats, fmt.Errorf("sweep: unexpected COMPLETE reply %q", line)
+		return stats, &transportError{err: fmt.Errorf("sweep: unexpected COMPLETE reply %q", line)}
 	}
 }
 
