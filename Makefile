@@ -25,13 +25,14 @@ bench:
 # bench-json records the speedup trajectory: the parallel-engine bench,
 # the generator ablations (endpoint array vs Fenwick reference; the
 # fitness/geopa rejection samplers), the per-model registry generation
-# sweep (every registered family), and the distribution layer (shard
-# merge, warm-cache re-reduce, coordinator dispatch overhead), in
+# sweep (every registered family), the distribution layer (shard
+# merge, warm-cache re-reduce, coordinator dispatch overhead), and the
+# observability tax (instrumented vs bare trial loop), in
 # `go test -json` event format, one JSON object per line. Commit the
 # refreshed BENCH_gen.json whenever a PR moves these numbers.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkExperimentWorkers|BenchmarkGenerateMori|BenchmarkGenerateCooperFrieze|BenchmarkGenerateFitness|BenchmarkGenerateGeoPA|BenchmarkGenerateModels|BenchmarkBFSParallel|BenchmarkSnapshotOpen|BenchmarkShardMerge|BenchmarkCacheHit|BenchmarkCoordinatorDispatch' \
+		-bench 'BenchmarkExperimentWorkers|BenchmarkGenerateMori|BenchmarkGenerateCooperFrieze|BenchmarkGenerateFitness|BenchmarkGenerateGeoPA|BenchmarkGenerateModels|BenchmarkBFSParallel|BenchmarkSnapshotOpen|BenchmarkShardMerge|BenchmarkCacheHit|BenchmarkCoordinatorDispatch|BenchmarkMetricsOverhead' \
 		-benchtime 3x -json . > BENCH_gen.json
 
 # bench-smoke is the CI-sized benchmark pass: every benchmark once at

@@ -10,6 +10,7 @@
 //	                             [-out dir [-drain-timeout d]] [-chaos seed]]
 //	            [-worker addr [-auth-key k] [-dial-retries n]]
 //	            [-cache-gc fingerprint]
+//	            [-status-addr addr [-pprof]] [-events file] [-dump-metrics]
 //
 // -scale shrinks workload sizes and replication counts proportionally
 // (0.1 gives a quick smoke run); -workers bounds the trial worker pool
@@ -57,6 +58,18 @@
 // injection (internal/faultnet) for recovery drills; the rendered
 // tables must still be byte-identical to a fault-free run.
 //
+// Observability (DESIGN.md §9): -status-addr serves an HTTP ops plane
+// on a coordinator or worker — /metrics (Prometheus text exposition),
+// /status (JSON sweep snapshot: chunk/lease table summary, per-worker
+// completion counts, rate and ETA; append ?format=html for a live
+// view), /healthz, and with -pprof the net/http/pprof profiles.
+// -events file appends one JSON line per sweep lifecycle event (worker
+// join/leave, lease grant/steal/revoke/complete, chunk fail/retry,
+// injected faults, drain, cache GC/eviction). -dump-metrics prints the
+// full metrics exposition to stderr at exit. All of it is strictly
+// observational: rendered tables stay byte-identical with every
+// observability flag enabled.
+//
 // Tables go to stdout; all status goes to stderr, so single-process,
 // merged, and coordinated outputs diff cleanly.
 package main
@@ -77,8 +90,16 @@ import (
 	"scalefree/internal/engine"
 	"scalefree/internal/experiment"
 	"scalefree/internal/faultnet"
+	"scalefree/internal/obs"
 	"scalefree/internal/sweep"
 )
+
+// mFaultsInjected counts chaos faults by operation. It lives here, not
+// in faultnet, so the fault injector itself stays dependency-free; the
+// CLI bridges its structured event callback into metrics and the event
+// log.
+var mFaultsInjected = obs.Default().CounterVec("scalefree_faultnet_injected_total",
+	"Faults injected by the -chaos wrapper, by operation.", "op")
 
 func main() {
 	if err := run(); err != nil {
@@ -113,6 +134,11 @@ type options struct {
 	drainTimeout  time.Duration
 	cacheMaxBytes int64
 	chaos         uint64
+
+	statusAddr  string
+	pprofOn     bool
+	eventsPath  string
+	dumpMetrics bool
 
 	// set records which flags were explicitly given, for rejecting
 	// explicit-but-meaningless combinations whose zero values are
@@ -251,6 +277,25 @@ func (o *options) validate() error {
 	if o.isSet("chaos") && o.mode() != "coordinate" {
 		return fmt.Errorf("-chaos injects faults on coordinator connections; it requires -coordinate")
 	}
+	// Observability flags: the ops plane belongs to long-lived sweep
+	// processes; the event log to processes that emit sweep lifecycle
+	// events.
+	if o.statusAddr != "" && o.mode() != "coordinate" && o.mode() != "worker" {
+		return fmt.Errorf("-status-addr serves the coordinator/worker ops plane (/metrics, /status); it requires -coordinate or -worker")
+	}
+	if o.pprofOn && o.statusAddr == "" {
+		return fmt.Errorf("-pprof mounts profiling endpoints on the ops plane; it requires -status-addr")
+	}
+	if o.eventsPath != "" {
+		switch o.mode() {
+		case "coordinate", "worker", "cache-gc":
+		default:
+			return fmt.Errorf("-events records sweep lifecycle events; it requires -coordinate, -worker, or -cache-gc")
+		}
+	}
+	if o.dumpMetrics && o.mode() == "merge" {
+		return fmt.Errorf("-dump-metrics snapshots execution metrics; -merge only reads shard files")
+	}
 	if o.isSet("cache-max-bytes") {
 		switch {
 		case o.cacheDir == "":
@@ -288,6 +333,10 @@ func parseOptions(args []string) (*options, error) {
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 0, "with -coordinate -out: how long a cancelled coordinator waits for in-flight leases before draining results to -out")
 	fs.Int64Var(&o.cacheMaxBytes, "cache-max-bytes", 0, "after a successful run: evict least-recently-used -cache entries down to this many bytes (current run's entries are never evicted)")
 	fs.Uint64Var(&o.chaos, "chaos", 0, "with -coordinate: inject deterministic seed-scripted connection faults (delays, resets, truncations, partitions) for recovery testing")
+	fs.StringVar(&o.statusAddr, "status-addr", "", "with -coordinate or -worker: serve the HTTP ops plane (/metrics, /status, /healthz) on this address")
+	fs.BoolVar(&o.pprofOn, "pprof", false, "with -status-addr: also mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&o.eventsPath, "events", "", "write one JSON line per sweep lifecycle event to this file")
+	fs.BoolVar(&o.dumpMetrics, "dump-metrics", false, "print the Prometheus text exposition of all metrics to stderr at exit")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -335,41 +384,60 @@ func run() error {
 	}
 
 	cfg := experiment.Config{Seed: o.seed, Scale: o.scale}
-	switch o.mode() {
-	case "merge":
-		return mergeShards(selected, cfg, o.merge, o.csvDir)
-	case "shard":
-		spec, err := sweep.ParseShardSpec(o.shard)
-		if err != nil {
-			return err
-		}
-		if err := runShards(ctx, selected, cfg, spec, o.workers, o.progress, cache, o.out, o.resume); err != nil {
-			return err
-		}
-	case "coordinate":
-		return runCoordinator(ctx, selected, cfg, o)
-	case "worker":
-		if err := runWorker(ctx, selected, cfg, o, cache); err != nil {
-			return err
-		}
-	case "cache-gc":
-		return runCacheGC(cache, o.cacheGC)
-	default:
-		if err := runAll(ctx, selected, cfg, o.workers, o.progress, cache, o.csvDir); err != nil {
+
+	// The event log and the metrics dump bracket whichever mode runs;
+	// both are nil-safe no-ops when their flags are absent.
+	var events *obs.EventLog
+	if o.eventsPath != "" {
+		if events, err = obs.OpenEventLog(o.eventsPath); err != nil {
 			return err
 		}
 	}
 
+	err = func() error {
+		switch o.mode() {
+		case "merge":
+			return mergeShards(selected, cfg, o.merge, o.csvDir)
+		case "shard":
+			spec, err := sweep.ParseShardSpec(o.shard)
+			if err != nil {
+				return err
+			}
+			return runShards(ctx, selected, cfg, spec, o.workers, o.progress, cache, o.out, o.resume)
+		case "coordinate":
+			return runCoordinator(ctx, selected, cfg, o, events)
+		case "worker":
+			return runWorker(ctx, selected, cfg, o, cache, events)
+		case "cache-gc":
+			return runCacheGC(cache, o.cacheGC, events)
+		default:
+			return runAll(ctx, selected, cfg, o.workers, o.progress, cache, o.csvDir)
+		}
+	}()
+
 	// Eviction runs only after a fully successful run: an interrupted
 	// sweep's entries are exactly what the next -cache run resumes from.
-	if o.isSet("cache-max-bytes") && cache != nil {
-		stats, err := cache.EvictTo(o.cacheMaxBytes)
-		if err != nil {
-			return fmt.Errorf("evicting cache to %d bytes: %w", o.cacheMaxBytes, err)
+	if err == nil && o.isSet("cache-max-bytes") && cache != nil {
+		stats, eerr := cache.EvictTo(o.cacheMaxBytes)
+		if eerr != nil {
+			err = fmt.Errorf("evicting cache to %d bytes: %w", o.cacheMaxBytes, eerr)
+		} else {
+			events.Emit(obs.Event{Event: "cache_evict", N: stats.Bytes, Msg: stats.String()})
+			fmt.Fprintf(os.Stderr, "cache %s: evicted to <= %d bytes (%s)\n", cache.Dir(), o.cacheMaxBytes, stats)
 		}
-		fmt.Fprintf(os.Stderr, "cache %s: evicted to <= %d bytes (%s)\n", cache.Dir(), o.cacheMaxBytes, stats)
 	}
-	return nil
+
+	// Metrics go to stderr: stdout carries only the byte-identical
+	// tables the golden comparisons diff.
+	if o.dumpMetrics {
+		if werr := obs.Default().WriteText(os.Stderr); werr != nil && err == nil {
+			err = fmt.Errorf("dumping metrics: %w", werr)
+		}
+	}
+	if cerr := events.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("event log %s: %w", o.eventsPath, cerr)
+	}
+	return err
 }
 
 // progressHook builds the -progress stderr stream: per-trial lines
@@ -440,10 +508,30 @@ func runShards(ctx context.Context, selected []experiment.Experiment, cfg experi
 	return nil
 }
 
+// coordStatus is the /status payload a coordinator serves: process
+// identity, the sweep scheduling snapshot, and the same rate/ETA and
+// per-worker counts the -progress stderr line prints — both render one
+// Aggregator, so they always agree.
+type coordStatus struct {
+	Mode          string               `json:"mode"`
+	Addr          string               `json:"addr"`
+	Seed          uint64               `json:"seed"`
+	Scale         float64              `json:"scale"`
+	Experiments   []string             `json:"experiments"`
+	Sweep         sweep.CoordSnapshot  `json:"sweep"`
+	Done          int                  `json:"done"`
+	Total         int                  `json:"total"`
+	RatePerSec    float64              `json:"rate_per_sec"`
+	ETA           string               `json:"eta,omitempty"`
+	Workers       []engine.SourceCount `json:"workers"`
+	ChaosInjected int64                `json:"chaos_injected,omitempty"`
+}
+
 // runCoordinator serves the selected experiments' trials to -worker
 // processes and prints the reduced tables once every trial reports.
-func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options) error {
+func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, events *obs.EventLog) error {
 	total := 0
+	expIDs := make([]string, 0, len(selected))
 	for _, e := range selected {
 		plan, err := e.Plan(cfg)
 		if err != nil {
@@ -454,6 +542,7 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 			return err
 		}
 		total += len(plan.Trials)
+		expIDs = append(expIDs, e.ID)
 		fmt.Fprintf(os.Stderr, "=== %s: %d trials (scale %.2f, seed %d, fp %s)\n",
 			e.ID, len(plan.Trials), cfg.Scale, cfg.Seed, fp)
 	}
@@ -471,15 +560,22 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 	if o.isSet("chaos") {
 		faultLis = faultnet.Listen(lis, o.chaos, faultnet.Default())
 		faultLis.Log = logf
+		faultLis.OnEvent = func(ev faultnet.Event) {
+			mFaultsInjected.With(ev.Op).Inc()
+			events.Emit(obs.Event{Event: "fault_injected", Op: ev.Op, Conn: ev.Conn, N: ev.Seq})
+		}
 		lis = faultLis
 		fmt.Fprintf(os.Stderr, "chaos: injecting scripted faults on every accepted connection (seed %d)\n", o.chaos)
 	}
 
+	observer := &sweep.CoordObserver{}
 	copts := sweep.CoordOptions{
 		ChunkSize: o.chunk,
 		LeaseTTL:  o.leaseTTL,
 		AuthKey:   o.authKey,
 		Log:       logf,
+		Events:    events,
+		Observer:  observer,
 	}
 	if o.out != "" {
 		if err := os.MkdirAll(o.out, 0o755); err != nil {
@@ -492,15 +588,59 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 		copts.Drain = drain
 		copts.DrainTimeout = o.drainTimeout
 	}
-	if o.progress {
-		agg := engine.NewAggregator(total, engine.NewRateTracker(0))
+
+	// One aggregator feeds both the -progress stderr stream and the
+	// /status payload, so the two views can never disagree. OnResult is
+	// observation only — attaching it does not perturb scheduling or
+	// results, which the golden observability test pins.
+	var agg *engine.Aggregator
+	if o.progress || o.statusAddr != "" {
+		agg = engine.NewAggregator(total, engine.NewRateTracker(0))
+		progress := o.progress
 		copts.OnResult = func(worker, expID string, t engine.Trial) {
 			agg.Add(worker)
-			snap, _ := agg.Snapshot()
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s (worker %s) | %s\n",
-				snap.Done, snap.Total, expID, t.Key, worker, snap)
+			if progress {
+				snap, _ := agg.Snapshot()
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s (worker %s) | %s\n",
+					snap.Done, snap.Total, expID, t.Key, worker, snap)
+			}
 		}
 	}
+
+	if o.statusAddr != "" {
+		status := func() any {
+			s := coordStatus{
+				Mode:        "coordinate",
+				Addr:        lis.Addr().String(),
+				Seed:        cfg.Seed,
+				Scale:       cfg.Scale,
+				Experiments: expIDs,
+				Sweep:       observer.Snapshot(),
+				Total:       total,
+				Workers:     []engine.SourceCount{},
+			}
+			if agg != nil {
+				snap, workers := agg.SnapshotSorted()
+				s.Done = snap.Done
+				s.RatePerSec = snap.Rate
+				if snap.ETA > 0 {
+					s.ETA = snap.ETA.Round(time.Second).String()
+				}
+				s.Workers = workers
+			}
+			if faultLis != nil {
+				s.ChaosInjected = faultLis.Injected()
+			}
+			return s
+		}
+		srv, err := obs.StartOps(o.statusAddr, obs.NewOpsHandler(obs.Default(), status, o.pprofOn))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops plane on http://%s (/metrics /status /healthz)\n", srv.Addr())
+	}
+
 	start := time.Now()
 	tables, err := experiment.CoordinateSweep(ctx, selected, cfg, lis, copts)
 	if faultLis != nil {
@@ -510,6 +650,17 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "sweep completed in %v\n", time.Since(start).Round(time.Millisecond))
+	if agg != nil && o.progress {
+		// Final per-worker attribution, in the same sorted order /status
+		// reports, so the last stderr line and a final /status scrape
+		// match field for field.
+		snap, workers := agg.SnapshotSorted()
+		parts := make([]string, 0, len(workers))
+		for _, w := range workers {
+			parts = append(parts, fmt.Sprintf("%s=%d", w.Source, w.Done))
+		}
+		fmt.Fprintf(os.Stderr, "workers: [%d/%d] %s\n", snap.Done, snap.Total, strings.Join(parts, " "))
+	}
 	for i, e := range selected {
 		if err := emit(e, tables[i], o.csvDir); err != nil {
 			return err
@@ -520,17 +671,38 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 
 // runWorker joins a coordinator and executes leased chunks until the
 // sweep is done.
-func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, cache *sweep.Cache) error {
+func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, cache *sweep.Cache, events *obs.EventLog) error {
 	eopts := engine.Options{Workers: o.workers}
 	if o.progress {
 		eopts.Progress = progressHook(engine.NewRateTracker(0))
 	}
+	name := sweep.DefaultWorkerName()
 	wopts := sweep.WorkerOptions{
+		Name:        name,
 		AuthKey:     o.authKey,
 		DialRetries: o.dialRetries,
+		Events:      events,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		},
+	}
+	if o.statusAddr != "" {
+		status := func() any {
+			return map[string]any{
+				"mode":        "worker",
+				"name":        name,
+				"coordinator": o.worker,
+				"seed":        cfg.Seed,
+				"scale":       cfg.Scale,
+				"workers":     o.workers,
+			}
+		}
+		srv, err := obs.StartOps(o.statusAddr, obs.NewOpsHandler(obs.Default(), status, o.pprofOn))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ops plane on http://%s (/metrics /status /healthz)\n", srv.Addr())
 	}
 	fmt.Fprintf(os.Stderr, "joining coordinator at %s (scale %.2f, seed %d, workers %d)\n",
 		o.worker, cfg.Scale, cfg.Seed, o.workers)
@@ -544,11 +716,12 @@ func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experi
 }
 
 // runCacheGC deletes one plan fingerprint's entries from the cache.
-func runCacheGC(cache *sweep.Cache, fingerprint string) error {
+func runCacheGC(cache *sweep.Cache, fingerprint string, events *obs.EventLog) error {
 	stats, err := cache.GC(fingerprint)
 	if err != nil {
 		return err
 	}
+	events.Emit(obs.Event{Event: "cache_gc", N: stats.Bytes, Msg: stats.String()})
 	fmt.Fprintf(os.Stderr, "cache-gc %s: removed %s\n", cache.Dir(), stats)
 	return nil
 }

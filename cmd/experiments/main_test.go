@@ -74,6 +74,17 @@ func TestFlagValidation(t *testing.T) {
 		{"cache-max-bytes without cache", []string{"-cache-max-bytes", "1024"}, "-cache"},
 		{"negative cache-max-bytes", []string{"-cache", "c", "-cache-max-bytes", "-1"}, ">= 0"},
 		{"cache-max-bytes on cache-gc", []string{"-cache-gc", "abc", "-cache", "c", "-cache-max-bytes", "1024"}, "-cache-max-bytes"},
+
+		// Observability flags outside their modes.
+		{"status-addr on run", []string{"-status-addr", ":0"}, "-coordinate or -worker"},
+		{"status-addr on shard", []string{"-shard", "1/2", "-out", "d", "-status-addr", ":0"}, "-coordinate or -worker"},
+		{"status-addr on merge", []string{"-merge", "d", "-status-addr", ":0"}, "-coordinate or -worker"},
+		{"pprof without status-addr", []string{"-coordinate", ":0", "-pprof"}, "-status-addr"},
+		{"pprof on run", []string{"-pprof"}, "-status-addr"},
+		{"events on run", []string{"-events", "f"}, "-coordinate, -worker, or -cache-gc"},
+		{"events on merge", []string{"-merge", "d", "-events", "f"}, "-coordinate, -worker, or -cache-gc"},
+		{"events on shard", []string{"-shard", "1/2", "-out", "d", "-events", "f"}, "-coordinate, -worker, or -cache-gc"},
+		{"dump-metrics on merge", []string{"-merge", "d", "-dump-metrics"}, "-dump-metrics"},
 	}
 	for _, tc := range reject {
 		t.Run(tc.name, func(t *testing.T) {
@@ -100,6 +111,10 @@ func TestFlagValidation(t *testing.T) {
 		{"-worker", "host:9131", "-auth-key", "s3cret", "-dial-retries", "-1"},
 		{"-run", "E4", "-cache", "c", "-cache-max-bytes", "1048576"},
 		{"-shard", "1/1", "-out", "d", "-cache", "c", "-cache-max-bytes", "0"},
+		{"-coordinate", ":9131", "-status-addr", ":9200", "-pprof", "-events", "f", "-dump-metrics"},
+		{"-worker", "host:9131", "-status-addr", ":9201", "-events", "f", "-dump-metrics"},
+		{"-cache-gc", "abc123", "-cache", "c", "-events", "f", "-dump-metrics"},
+		{"-run", "E4", "-dump-metrics"},
 	}
 	for _, args := range accept {
 		if _, err := parseOptions(args); err != nil {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -156,4 +157,25 @@ func (a *Aggregator) Snapshot() (RateSnapshot, map[string]int) {
 	}
 	a.mu.Unlock()
 	return a.tracker.Snapshot(), bySource
+}
+
+// SourceCount is one source's completion count in the deterministic
+// per-source breakdown SnapshotSorted returns.
+type SourceCount struct {
+	Source string `json:"source"`
+	Done   int    `json:"done"`
+}
+
+// SnapshotSorted is Snapshot with the per-source counts sorted by
+// source name — the single deterministic ordering both the stderr
+// progress line and the /status payload render, so the two always
+// agree.
+func (a *Aggregator) SnapshotSorted() (RateSnapshot, []SourceCount) {
+	snap, bySource := a.Snapshot()
+	out := make([]SourceCount, 0, len(bySource))
+	for s, n := range bySource {
+		out = append(out, SourceCount{Source: s, Done: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return snap, out
 }

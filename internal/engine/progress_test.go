@@ -156,3 +156,28 @@ func TestRateTrackerWithEngine(t *testing.T) {
 		t.Errorf("tracker saw %d/%d completions", snap.Done, snap.Total)
 	}
 }
+
+// TestAggregatorSnapshotSorted: the per-source breakdown comes back
+// sorted by source name regardless of delivery order, so the stderr
+// progress line and the /status payload render identically.
+func TestAggregatorSnapshotSorted(t *testing.T) {
+	rt, clock := newTestTracker(time.Minute)
+	agg := NewAggregator(10, rt)
+	for _, w := range []string{"zeta", "alpha", "mid", "alpha", "zeta", "zeta"} {
+		clock.advance(time.Second)
+		agg.Add(w)
+	}
+	snap, counts := agg.SnapshotSorted()
+	if snap.Done != 6 {
+		t.Errorf("Done = %d, want 6", snap.Done)
+	}
+	want := []SourceCount{{"alpha", 2}, {"mid", 1}, {"zeta", 3}}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("counts[%d] = %+v, want %+v", i, counts[i], w)
+		}
+	}
+}

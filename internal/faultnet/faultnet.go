@@ -78,6 +78,20 @@ func Default() Faults {
 	}
 }
 
+// Event describes one injected fault, structured for machine
+// consumers (the -events JSONL log, fault counters). The printf Log
+// hook remains the human-readable adapter over the same stream.
+type Event struct {
+	// Op is the fault kind: "reset", "truncation", or "partition".
+	Op string
+	// Conn is the connection's 1-based accept order (or 1 for
+	// WrapConn).
+	Conn uint64
+	// Seq is the fault's 1-based position in the wrapper-wide injected
+	// budget — chaos runs with the same seed replay the same sequence.
+	Seq int64
+}
+
 // Listener wraps an inner listener so every accepted connection
 // injects faults on the profile's schedule. Connection i (1-based
 // accept order) draws from rng.New(rng.DeriveSeed(seed, i)), so the
@@ -90,6 +104,10 @@ type Listener struct {
 	injected atomic.Int64
 	// Log, if set before serving, receives one line per injected fault.
 	Log func(format string, args ...any)
+	// OnEvent, if set before serving, receives one structured Event per
+	// injected fault. Called from the faulting connection's goroutine —
+	// keep it fast and never call back into the connection.
+	OnEvent func(Event)
 }
 
 // Listen wraps lis with the fault profile, scripted from seed.
@@ -123,9 +141,12 @@ func (l *Listener) wrap(c net.Conn, idx uint64) *Conn {
 		budget: &l.injected,
 		max:    l.faults.MaxFaults,
 	}
-	fc.log = func(event string) {
+	fc.emit = func(op, detail string, seq int64) {
+		if l.OnEvent != nil {
+			l.OnEvent(Event{Op: op, Conn: idx, Seq: seq})
+		}
 		if l.Log != nil {
-			l.Log("faultnet: conn %d: %s", idx, event)
+			l.Log("faultnet: conn %d: %s", idx, detail)
 		}
 	}
 	return fc
@@ -144,7 +165,7 @@ type Conn struct {
 	partitioned bool
 	budget      *atomic.Int64 // shared injected-fault counter
 	max         int64         // 0 = unlimited
-	log         func(event string)
+	emit        func(op, detail string, seq int64)
 }
 
 // WrapConn wraps a single connection with its own fault schedule; conn
@@ -156,7 +177,18 @@ func WrapConn(c net.Conn, seed uint64, f Faults) *Conn {
 		faults: f,
 		budget: new(atomic.Int64),
 		max:    f.MaxFaults,
-		log:    func(string) {},
+		emit:   func(string, string, int64) {},
+	}
+}
+
+// OnFault registers fn to receive each injected fault on this
+// connection — the WrapConn counterpart of Listener.OnEvent (accepted
+// connections report Conn index 1). Set before serving traffic.
+func (c *Conn) OnFault(fn func(Event)) {
+	prev := c.emit
+	c.emit = func(op, detail string, seq int64) {
+		fn(Event{Op: op, Conn: 1, Seq: seq})
+		prev(op, detail, seq)
 	}
 }
 
@@ -164,20 +196,20 @@ func WrapConn(c net.Conn, seed uint64, f Faults) *Conn {
 // recorded (shared across the listener for accepted connections).
 func (c *Conn) Injected() int64 { return c.budget.Load() }
 
-// spend claims one unit of the fault budget; false means the cap is
-// exhausted and the fault must not fire.
-func (c *Conn) spend() bool {
+// spend claims one unit of the fault budget, returning the claimed
+// sequence number; ok is false when the cap is exhausted and the fault
+// must not fire.
+func (c *Conn) spend() (seq int64, ok bool) {
 	if c.max <= 0 {
-		c.budget.Add(1)
-		return true
+		return c.budget.Add(1), true
 	}
 	for {
 		cur := c.budget.Load()
 		if cur >= c.max {
-			return false
+			return 0, false
 		}
 		if c.budget.CompareAndSwap(cur, cur+1) {
-			return true
+			return cur + 1, true
 		}
 	}
 }
@@ -237,17 +269,21 @@ func (c *Conn) Read(p []byte) (int, error) {
 	if pl.delay > 0 {
 		time.Sleep(pl.delay)
 	}
-	if pl.reset && c.spend() {
-		c.log("read reset")
-		c.Conn.Close()
-		return 0, &errInjected{what: "reset"}
+	if pl.reset {
+		if seq, ok := c.spend(); ok {
+			c.emit("reset", "read reset", seq)
+			c.Conn.Close()
+			return 0, &errInjected{what: "reset"}
+		}
 	}
-	if pl.part && c.spend() {
-		c.log("one-way partition (inbound blackholed)")
-		c.mu.Lock()
-		c.partitioned = true
-		c.mu.Unlock()
-		return c.discard(p)
+	if pl.part {
+		if seq, ok := c.spend(); ok {
+			c.emit("partition", "one-way partition (inbound blackholed)", seq)
+			c.mu.Lock()
+			c.partitioned = true
+			c.mu.Unlock()
+			return c.discard(p)
+		}
 	}
 	return c.Conn.Read(p)
 }
@@ -270,16 +306,20 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if pl.delay > 0 {
 		time.Sleep(pl.delay)
 	}
-	if pl.reset && c.spend() {
-		c.log("write reset")
-		c.Conn.Close()
-		return 0, &errInjected{what: "reset"}
+	if pl.reset {
+		if seq, ok := c.spend(); ok {
+			c.emit("reset", "write reset", seq)
+			c.Conn.Close()
+			return 0, &errInjected{what: "reset"}
+		}
 	}
-	if pl.truncate >= 0 && c.spend() {
-		c.log(fmt.Sprintf("write truncated to %d of %d bytes", pl.truncate, len(p)))
-		n, _ := c.Conn.Write(p[:pl.truncate])
-		c.Conn.Close()
-		return n, &errInjected{what: "truncation"}
+	if pl.truncate >= 0 {
+		if seq, ok := c.spend(); ok {
+			c.emit("truncation", fmt.Sprintf("write truncated to %d of %d bytes", pl.truncate, len(p)), seq)
+			n, _ := c.Conn.Write(p[:pl.truncate])
+			c.Conn.Close()
+			return n, &errInjected{what: "truncation"}
+		}
 	}
 	if !c.faults.SplitWrites || len(p) <= 1 {
 		return c.Conn.Write(p)

@@ -303,6 +303,93 @@ func TestScheduleIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestStructuredEvents: OnEvent reports each injected fault with its
+// op, connection index, and a monotonically increasing budget sequence
+// — the machine-readable stream the CLI bridges into counters and the
+// JSONL event log — and agrees with the printf Log adapter.
+func TestStructuredEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	var logLines int
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := Listen(inner, 19, Faults{ResetProb: 1, MaxFaults: 3})
+	defer lis.Close()
+	lis.OnEvent = func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	lis.Log = func(string, ...any) {
+		mu.Lock()
+		logLines++
+		mu.Unlock()
+	}
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write([]byte("OK\n"))
+				io.Copy(io.Discard, c)
+			}(c)
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		c, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		io.Copy(io.Discard, c)
+		c.Close()
+		if lis.Injected() >= 3 {
+			break
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3 (budget-capped)", len(events))
+	}
+	if logLines != len(events) {
+		t.Errorf("Log fired %d times, OnEvent %d — the adapters diverged", logLines, len(events))
+	}
+	for i, ev := range events {
+		if ev.Op != "reset" {
+			t.Errorf("events[%d].Op = %q, want reset", i, ev.Op)
+		}
+		if ev.Seq != int64(i+1) {
+			t.Errorf("events[%d].Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Conn == 0 {
+			t.Errorf("events[%d].Conn = 0, want 1-based accept index", i)
+		}
+	}
+}
+
+// TestWrapConnOnFault: the dial-side wrapper reports faults through
+// OnFault with connection index 1.
+func TestWrapConnOnFault(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	wrapped := WrapConn(a, 23, Faults{ResetProb: 1, MaxFaults: 1})
+	var got []Event
+	wrapped.OnFault(func(ev Event) { got = append(got, ev) })
+	if _, err := wrapped.Write([]byte("OK\n")); err == nil {
+		t.Fatal("reset-certain write succeeded")
+	}
+	if len(got) != 1 || got[0].Op != "reset" || got[0].Conn != 1 || got[0].Seq != 1 {
+		t.Fatalf("OnFault events = %+v, want one {reset 1 1}", got)
+	}
+}
+
 func describe(args []any) string {
 	var sb strings.Builder
 	for _, a := range args {

@@ -104,20 +104,25 @@ func (c *Cache) path(key string) string {
 // undecodable entries are misses.
 func (c *Cache) Get(key string) (v any, ok bool) {
 	if !validKey(key) {
+		mCacheMisses.Inc()
 		return nil, false
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
+		mCacheMisses.Inc()
 		return nil, false
 	}
 	_, payload, err := parseEntry(data)
 	if err != nil {
+		mCacheMisses.Inc()
 		return nil, false
 	}
 	v, err = DecodeResult(payload)
 	if err != nil {
+		mCacheMisses.Inc()
 		return nil, false
 	}
+	mCacheHits.Inc()
 	// Touch the entry so eviction order tracks use, not just writes —
 	// atime is unreliable (noatime mounts), so the mtime doubles as the
 	// recency signal. Best-effort: a failed touch only ages the entry.
@@ -144,7 +149,11 @@ func (c *Cache) Put(key, fingerprint string, v any) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("sweep: cache put: %w", err)
 	}
-	return atomicWriteFile(dst, data)
+	if err := atomicWriteFile(dst, data); err != nil {
+		return err
+	}
+	mCachePutBytes.Add(int64(len(data)))
+	return nil
 }
 
 // Len counts the entries currently in the cache (test and stats
@@ -230,6 +239,7 @@ func (c *Cache) GC(fingerprint string) (GCStats, error) {
 	if err != nil {
 		return stats, fmt.Errorf("sweep: cache gc: %w", err)
 	}
+	mCacheGCRemoved.Add(int64(stats.Entries + stats.Corrupt + stats.Temps))
 	c.pruneEmptyDirs()
 	return stats, nil
 }
@@ -305,6 +315,8 @@ func (c *Cache) EvictTo(maxBytes int64) (EvictStats, error) {
 		stats.Bytes += e.size
 	}
 	stats.Kept = total
+	mCacheEvictedEntries.Add(int64(stats.Entries))
+	mCacheEvictedBytes.Add(stats.Bytes)
 	c.pruneEmptyDirs()
 	return stats, nil
 }

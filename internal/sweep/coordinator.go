@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scalefree/internal/engine"
+	"scalefree/internal/obs"
 )
 
 // CoordJob is one experiment's plan as the coordinator schedules it:
@@ -66,6 +67,14 @@ type CoordOptions struct {
 	// it is torn down like a disconnect (leases revoked) — the bound
 	// that keeps a hung peer from pinning a handler goroutine forever.
 	IOTimeout time.Duration
+	// Events, if non-nil, receives one structured record per sweep
+	// lifecycle event (worker join/leave, lease grant/steal/revoke/
+	// complete, chunk fail/retry, drain, sweep done/abort). Strictly
+	// observational: events never feed scheduling or results.
+	Events *obs.EventLog
+	// Observer, if non-nil, is attached to this sweep so its Snapshot
+	// serves the /status endpoint while Coordinate runs.
+	Observer *CoordObserver
 }
 
 func (o CoordOptions) withDefaults() CoordOptions {
@@ -201,6 +210,7 @@ func (st *coordState) drainOrFail(cause error) {
 	}
 	st.draining = true
 	st.mu.Unlock()
+	st.opts.Events.Emit(obs.Event{Event: "drain_start", Msg: cause.Error()})
 	st.logf("sweep: cancelled (%v); draining in-flight leases for up to %v", cause, timeout)
 	deadline := time.Now().Add(timeout)
 	for st.leases.ActiveAfterReclaim() > 0 && time.Now().Before(deadline) {
@@ -237,6 +247,9 @@ type coordState struct {
 	opts      CoordOptions
 	connSeq   uint64
 	conns     map[uint64]net.Conn
+	// helloed maps handshaken connections to their worker names — the
+	// live-worker census /status reports and worker_leave events name.
+	helloed map[uint64]string
 	// chunkFailed records chunks that already burned their one retry
 	// (see failChunk).
 	chunkFailed map[chunk]bool
@@ -251,6 +264,7 @@ func newCoordState(jobs []CoordJob, opts CoordOptions) (*coordState, error) {
 		done:        make(chan struct{}),
 		opts:        opts,
 		conns:       map[uint64]net.Conn{},
+		helloed:     map[uint64]string{},
 		chunkFailed: map[chunk]bool{},
 	}
 	for j, job := range jobs {
@@ -272,6 +286,30 @@ func newCoordState(jobs []CoordJob, opts CoordOptions) (*coordState, error) {
 		st.remaining += len(job.Trials)
 	}
 	st.leases = newLeaseTable(chunked(jobs, opts.ChunkSize), opts.LeaseTTL)
+	// Observe steals and revocations where the table decides them. The
+	// callback runs with the table lock held: it reads only immutable
+	// job identity and touches metrics/events (their own locks), never
+	// st.mu — coordinator paths nest st.mu over the table lock, so
+	// taking st.mu here would invert the order.
+	st.leases.onDrop = func(l lease, how string) {
+		switch how {
+		case "steal":
+			mLeasesStolen.Inc()
+		case "revoke":
+			mLeasesRevoked.Inc()
+		}
+		st.opts.Events.Emit(obs.Event{
+			Event:  "lease_" + how,
+			Worker: l.Worker,
+			Exp:    st.jobs[l.Chunk.JobIdx].Job.ExpID,
+			Lease:  l.ID,
+			Chunk:  obs.ChunkRange(l.Chunk.Lo, l.Chunk.Hi),
+			Conn:   l.ConnID,
+		})
+	}
+	if opts.Observer != nil {
+		opts.Observer.attach(st)
+	}
 	if st.remaining == 0 {
 		close(st.done)
 		st.finished = true
@@ -314,6 +352,11 @@ func (st *coordState) finishLocked() {
 	if !st.finished {
 		st.finished = true
 		close(st.done)
+		if st.failure != nil {
+			st.opts.Events.Emit(obs.Event{Event: "sweep_abort", Msg: st.failure.Error()})
+		} else {
+			st.opts.Events.Emit(obs.Event{Event: "sweep_done"})
+		}
 	}
 }
 
@@ -384,10 +427,16 @@ func (st *coordState) handle(conn net.Conn) {
 	st.mu.Unlock()
 	defer func() {
 		wc.close()
-		st.leases.RevokeConn(connID)
+		revoked := st.leases.RevokeConn(connID)
 		st.mu.Lock()
 		delete(st.conns, connID)
+		name, wasHelloed := st.helloed[connID]
+		delete(st.helloed, connID)
 		st.mu.Unlock()
+		if wasHelloed {
+			mWorkersConnected.Dec()
+			st.opts.Events.Emit(obs.Event{Event: "worker_leave", Worker: name, Conn: connID, N: int64(revoked)})
+		}
 	}()
 
 	worker := ""
@@ -418,6 +467,11 @@ func (st *coordState) handle(conn net.Conn) {
 				return
 			}
 			helloed = true
+			st.mu.Lock()
+			st.helloed[connID] = worker
+			st.mu.Unlock()
+			mWorkersConnected.Inc()
+			st.opts.Events.Emit(obs.Event{Event: "worker_join", Worker: worker, Conn: connID})
 			hb := st.opts.LeaseTTL / 3
 			if hb < time.Millisecond {
 				hb = time.Millisecond
@@ -461,14 +515,24 @@ func (st *coordState) handle(conn net.Conn) {
 				return
 			}
 			reply := "GONE"
-			if c, ok := st.leases.Complete(id); ok {
+			if l, ok := st.leases.Complete(id); ok {
 				reply = "OK"
+				mLeasesCompleted.Inc()
+				mLeaseSeconds.Observe(time.Since(l.Granted).Seconds())
+				st.opts.Events.Emit(obs.Event{
+					Event:  "lease_complete",
+					Worker: worker,
+					Exp:    st.jobs[l.Chunk.JobIdx].Job.ExpID,
+					Lease:  l.ID,
+					Chunk:  obs.ChunkRange(l.Chunk.Lo, l.Chunk.Hi),
+					Conn:   connID,
+				})
 				// Coverage backstop: a COMPLETE whose results did not
 				// all arrive (a worker that violated the Execute
 				// contract) must not strand its chunk in limbo — the
 				// missing trials go back on the queue.
-				if !st.chunkCovered(c) {
-					st.leases.Requeue(c)
+				if !st.chunkCovered(l.Chunk) {
+					st.leases.Requeue(l.Chunk)
 				}
 			}
 			if err := wc.send(reply); err != nil {
@@ -481,8 +545,8 @@ func (st *coordState) handle(conn net.Conn) {
 				return
 			}
 			msg := unquoteMsg(fields[1:])
-			if c, ok := st.leases.Complete(id); ok {
-				st.failChunk(worker, c, msg)
+			if l, ok := st.leases.Complete(id); ok {
+				st.failChunk(worker, l.Chunk, msg)
 			}
 			// A FAIL on an already-revoked lease is ignored: the chunk
 			// was stolen and its fate belongs to its current owner —
@@ -501,6 +565,8 @@ func (st *coordState) handle(conn net.Conn) {
 				return
 			}
 			st.leases.Complete(id)
+			mRefusals.Inc()
+			st.opts.Events.Emit(obs.Event{Event: "worker_refuse", Worker: worker, Conn: connID, Msg: unquoteMsg(fields[1:])})
 			st.fail(fmt.Errorf("sweep: worker %s: %s", worker, unquoteMsg(fields[1:])))
 			if err := wc.send("OK"); err != nil {
 				return
@@ -572,6 +638,15 @@ func (st *coordState) serveNext(wc *wireConn, worker string, connID uint64) erro
 	}
 	if l, ok := st.leases.Acquire(worker, connID); ok {
 		job := st.jobs[l.Chunk.JobIdx]
+		mLeasesGranted.Inc()
+		st.opts.Events.Emit(obs.Event{
+			Event:  "lease_grant",
+			Worker: worker,
+			Exp:    job.Job.ExpID,
+			Lease:  l.ID,
+			Chunk:  obs.ChunkRange(l.Chunk.Lo, l.Chunk.Hi),
+			Conn:   connID,
+		})
 		return wc.send(formatLease(leaseMsg{
 			ID:          l.ID,
 			ExpID:       job.Job.ExpID,
@@ -617,11 +692,27 @@ func (st *coordState) failChunk(worker string, c chunk, msg string) {
 		// handler's coverage backstop.
 		return
 	}
+	expID := st.jobs[c.JobIdx].Job.ExpID
 	if !st.chunkFailed[c] {
 		st.chunkFailed[c] = true
+		mChunkRetries.Inc()
+		st.opts.Events.Emit(obs.Event{
+			Event:  "chunk_retry",
+			Worker: worker,
+			Exp:    expID,
+			Chunk:  obs.ChunkRange(c.Lo, c.Hi),
+			Msg:    msg,
+		})
 		st.leases.RequeueAvoiding(c, worker)
 		return
 	}
+	st.opts.Events.Emit(obs.Event{
+		Event:  "chunk_fail",
+		Worker: worker,
+		Exp:    expID,
+		Chunk:  obs.ChunkRange(c.Lo, c.Hi),
+		Msg:    msg,
+	})
 	if st.finished {
 		return
 	}
@@ -646,6 +737,7 @@ func (st *coordState) acceptResult(worker string, m resultMsg) error {
 		return fmt.Errorf("sweep: result index %d outside %s plan of %d trials", m.Index, m.ExpID, len(job.Trials))
 	}
 	if prev, dup := st.encoded[j][m.Index]; dup {
+		mDupResults.Inc()
 		if !bytes.Equal([]byte(prev), m.Payload) {
 			return fmt.Errorf("sweep: %s trial %d (%s): workers delivered different encodings — trial function is not deterministic",
 				m.ExpID, m.Index, job.Trials[m.Index].Key)
@@ -659,6 +751,7 @@ func (st *coordState) acceptResult(worker string, m resultMsg) error {
 	st.encoded[j][m.Index] = string(m.Payload)
 	st.results[j][m.Index] = v
 	st.remaining--
+	mCoordResults.With(worker).Inc()
 	if st.opts.OnResult != nil {
 		st.opts.OnResult(worker, m.ExpID, job.Trials[m.Index])
 	}

@@ -72,8 +72,8 @@ func TestLeaseTableLifecycle(t *testing.T) {
 		t.Error("heartbeat on a revoked lease succeeded")
 	}
 
-	if c, ok := lt.Complete(l1.ID); !ok || c != l1.Chunk {
-		t.Errorf("completing a live lease = %v, %v", c, ok)
+	if l, ok := lt.Complete(l1.ID); !ok || l.Chunk != l1.Chunk {
+		t.Errorf("completing a live lease = %v, %v", l, ok)
 	}
 	if _, ok := lt.Complete(l1.ID); ok {
 		t.Error("double-complete succeeded")

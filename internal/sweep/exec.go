@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"scalefree/internal/engine"
 	"scalefree/internal/rng"
@@ -78,16 +79,28 @@ func Execute[S any](
 		}
 	}
 
+	// Per-experiment instrumentation, resolved once per Execute call so
+	// the hot path is a pure atomic add. Timing wraps only fn — the
+	// latency histogram measures trial work, not cache persistence.
+	var (
+		trialsDone   = mTrialsCompleted.With(job.ExpID)
+		trialsFailed = mTrialFailures.With(job.ExpID)
+		trialSecs    = mTrialSeconds.With(job.ExpID)
+	)
 	var executed atomic.Int64
 	wrapped := func(ctx context.Context, t engine.Trial, r *rng.RNG, scratch S) (any, error) {
+		t0 := time.Now()
 		v, err := fn(ctx, t, r, scratch)
 		if err != nil {
+			trialsFailed.Inc()
 			return nil, err
 		}
+		trialSecs.ObserveDuration(time.Since(t0))
 		if err := storeTrial(cache, job.ExpID, job.Fingerprint, t, v); err != nil {
 			return nil, fmt.Errorf("caching result: %w", err)
 		}
 		executed.Add(1)
+		trialsDone.Inc()
 		return v, nil
 	}
 	ran, err := engine.RunScratch(ctx, run, opts, newScratch, wrapped)

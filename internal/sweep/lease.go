@@ -23,6 +23,7 @@ type lease struct {
 	Chunk    chunk
 	Worker   string
 	ConnID   uint64
+	Granted  time.Time
 	Deadline time.Time
 }
 
@@ -46,6 +47,9 @@ type leaseTable struct {
 	// (a zombie connection that never asks for work cannot starve the
 	// retry).
 	avoid map[chunk]avoidEntry
+	// onDrop, if set, is notified of steals and revocations (see
+	// dropFunc). Observation only — it never affects scheduling.
+	onDrop dropFunc
 }
 
 // avoidEntry records who failed a chunk and until when the chunk is
@@ -54,6 +58,12 @@ type avoidEntry struct {
 	worker string
 	until  time.Time
 }
+
+// dropFunc observes the lease losses the table decides internally: how
+// is "steal" (heartbeat deadline missed, chunk reclaimed) or "revoke"
+// (connection death). Called with the table lock held — the observer
+// must not re-enter the table.
+type dropFunc func(l lease, how string)
 
 func newLeaseTable(chunks []chunk, ttl time.Duration) *leaseTable {
 	return &leaseTable{
@@ -99,7 +109,7 @@ func (lt *leaseTable) Acquire(worker string, connID uint64) (lease, bool) {
 	c := lt.pending[pick]
 	lt.pending = append(lt.pending[:pick], lt.pending[pick+1:]...)
 	lt.nextID++
-	l := &lease{ID: lt.nextID, Chunk: c, Worker: worker, ConnID: connID, Deadline: lt.now().Add(lt.ttl)}
+	l := &lease{ID: lt.nextID, Chunk: c, Worker: worker, ConnID: connID, Granted: now, Deadline: lt.now().Add(lt.ttl)}
 	lt.active[l.ID] = l
 	return *l, true
 }
@@ -112,6 +122,9 @@ func (lt *leaseTable) reclaimExpiredLocked() {
 		if now.After(l.Deadline) {
 			lt.pending = append(lt.pending, l.Chunk)
 			delete(lt.active, id)
+			if lt.onDrop != nil {
+				lt.onDrop(*l, "steal")
+			}
 		}
 	}
 }
@@ -131,25 +144,28 @@ func (lt *leaseTable) Heartbeat(id uint64) bool {
 		// lost — the chunk must become stealable, not quietly revived.
 		lt.pending = append(lt.pending, l.Chunk)
 		delete(lt.active, id)
+		if lt.onDrop != nil {
+			lt.onDrop(*l, "steal")
+		}
 		return false
 	}
 	l.Deadline = lt.now().Add(lt.ttl)
 	return true
 }
 
-// Complete retires a lease, returning its chunk so the caller can
-// verify result coverage; ok is false when the lease had already been
-// revoked (harmless — the results were still accepted by content
-// address).
-func (lt *leaseTable) Complete(id uint64) (chunk, bool) {
+// Complete retires a lease, returning it so the caller can verify
+// result coverage (and attribute the lease's lifetime); ok is false
+// when the lease had already been revoked (harmless — the results were
+// still accepted by content address).
+func (lt *leaseTable) Complete(id uint64) (lease, bool) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	l, ok := lt.active[id]
 	if !ok {
-		return chunk{}, false
+		return lease{}, false
 	}
 	delete(lt.active, id)
-	return l.Chunk, true
+	return *l, true
 }
 
 // ActiveAfterReclaim reports how many leases remain live after
@@ -194,10 +210,22 @@ func (lt *leaseTable) RevokeConn(connID uint64) int {
 		if l.ConnID == connID {
 			lt.pending = append(lt.pending, l.Chunk)
 			delete(lt.active, id)
+			if lt.onDrop != nil {
+				lt.onDrop(*l, "revoke")
+			}
 			n++
 		}
 	}
 	return n
+}
+
+// Counts reports the pending-chunk and active-lease totals — the
+// scheduling summary /status renders. Expired leases are not reclaimed
+// here: a status read must never perturb scheduling.
+func (lt *leaseTable) Counts() (pending, active int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.pending), len(lt.active)
 }
 
 // Idle reports whether nothing is pending or leased — combined with

@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scalefree/internal/obs"
+)
+
+// TestCoordObserverSnapshot runs a coordinated sweep with the observer
+// and event log attached and pins the observable contract: the final
+// snapshot accounts for every trial, survives a JSON round-trip
+// unchanged (the /status payload is exactly this struct), and the
+// event log records the lease lifecycle with monotonic sequence
+// numbers.
+func TestCoordObserverSnapshot(t *testing.T) {
+	trials := makeTrials(21)
+	job := testJob(trials)
+
+	observer := &CoordObserver{}
+	if !reflect.DeepEqual(observer.Snapshot(), (CoordSnapshot{})) {
+		t.Fatal("unattached observer does not report the zero snapshot")
+	}
+
+	var buf bytes.Buffer
+	events := obs.NewEventLog(&buf)
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		CoordOptions{ChunkSize: 4, LeaseTTL: 2 * time.Second,
+			Observer: observer, Events: events})
+	defer cancel()
+
+	// Scrape the observer while the sweep runs: every intermediate
+	// snapshot must be internally consistent even as state changes
+	// underneath it.
+	scrapeDone := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := observer.Snapshot()
+			if s.DoneTrials > s.TotalTrials {
+				t.Errorf("snapshot overcounts: %d done of %d", s.DoneTrials, s.TotalTrials)
+				return
+			}
+		}
+	}()
+
+	var executed atomic.Int64
+	if _, err := RunWorker(context.Background(), addr,
+		countingResolver(job, trials, &executed), WorkerOptions{Name: "obs-w"}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-outcome
+	close(stop)
+	<-scrapeDone
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	checkResults(t, trials, out.results)
+
+	snap := observer.Snapshot()
+	if !snap.Finished || snap.Failure != "" {
+		t.Errorf("final snapshot not cleanly finished: %+v", snap)
+	}
+	if snap.DoneTrials != 21 || snap.TotalTrials != 21 {
+		t.Errorf("final trials = %d/%d, want 21/21", snap.DoneTrials, snap.TotalTrials)
+	}
+	if snap.PendingChunks != 0 || snap.ActiveLeases != 0 || snap.Workers != 0 {
+		t.Errorf("final snapshot has residual scheduling state: %+v", snap)
+	}
+	if len(snap.Jobs) != 1 || snap.Jobs[0].ExpID != job.ExpID ||
+		snap.Jobs[0].Trials != 21 || snap.Jobs[0].Done != 21 {
+		t.Errorf("job status = %+v", snap.Jobs)
+	}
+
+	// The /status payload is this struct marshalled as-is: a round-trip
+	// through its own JSON must reproduce it exactly.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CoordSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("JSON round-trip changed the snapshot:\n got %+v\nwant %+v", back, snap)
+	}
+
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	verifySweepEventLog(t, buf.Bytes(), "obs-w")
+}
+
+// verifySweepEventLog parses a JSONL event log written by a clean
+// single-worker sweep and checks schema invariants: valid JSON per
+// line, sequence numbers 1..n in order, grants balanced by completes,
+// and the lifecycle endpoints present.
+func verifySweepEventLog(t *testing.T, raw []byte, worker string) {
+	t.Helper()
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) == 0 {
+		t.Fatal("event log is empty")
+	}
+	counts := map[string]int{}
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, line)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("line %d has seq %d, want %d", i+1, ev.Seq, i+1)
+		}
+		if ev.Event == "" {
+			t.Errorf("line %d has empty event name", i+1)
+		}
+		counts[ev.Event]++
+		switch ev.Event {
+		case "lease_grant", "lease_complete", "worker_join", "worker_leave":
+			if ev.Worker != worker {
+				t.Errorf("line %d (%s) attributes worker %q, want %q", i+1, ev.Event, ev.Worker, worker)
+			}
+		}
+	}
+	if counts["lease_grant"] == 0 {
+		t.Error("no lease_grant events recorded")
+	}
+	if counts["lease_grant"] != counts["lease_complete"] {
+		t.Errorf("grants (%d) and completes (%d) unbalanced in a clean sweep",
+			counts["lease_grant"], counts["lease_complete"])
+	}
+	if counts["worker_join"] != 1 || counts["worker_leave"] != 1 {
+		t.Errorf("worker lifecycle events = join:%d leave:%d, want 1 each",
+			counts["worker_join"], counts["worker_leave"])
+	}
+	if counts["sweep_done"] != 1 {
+		t.Errorf("sweep_done events = %d, want exactly 1", counts["sweep_done"])
+	}
+}
+
+// TestCoordObserverSeesSteal: the event log records lease steals. A
+// worker takes a lease by hand and goes silent; after the TTL expires
+// the chunk is stolen and a live worker finishes the sweep.
+func TestCoordObserverSeesSteal(t *testing.T) {
+	trials := makeTrials(12)
+	job := testJob(trials)
+	var buf bytes.Buffer
+	events := obs.NewEventLog(&buf)
+	observer := &CoordObserver{}
+	addr, outcome, cancel := startCoordinator(t,
+		[]CoordJob{{Job: job, Trials: trials}},
+		// IOTimeout far past the TTL so the hung connection stays up:
+		// only the lease-expiry steal path can reclaim the chunk, never
+		// the disconnect revoke.
+		CoordOptions{ChunkSize: 4, LeaseTTL: 150 * time.Millisecond, Linger: 100 * time.Millisecond,
+			IOTimeout: time.Minute, Observer: observer, Events: events})
+	defer cancel()
+
+	dead := dialDeadWorker(t, addr, "dead")
+	defer dead.wc.close()
+	dead.takeLease() // never pinged, never completed: the chunk must be stolen
+
+	var executed atomic.Int64
+	if _, err := RunWorker(context.Background(), addr,
+		countingResolver(job, trials, &executed), WorkerOptions{Name: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-outcome
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	checkResults(t, trials, out.results)
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var steals int
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad event line: %v\n%s", err, line)
+		}
+		if ev.Event == "lease_steal" {
+			steals++
+			if ev.Worker != "dead" {
+				t.Errorf("steal attributed to %q, want the dead worker", ev.Worker)
+			}
+			if ev.Chunk == "" {
+				t.Error("steal event has no chunk range")
+			}
+		}
+	}
+	if steals == 0 {
+		t.Error("no lease_steal event recorded for the expired lease")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scalefree/internal/engine"
+	"scalefree/internal/obs"
 	"scalefree/internal/rng"
 )
 
@@ -64,6 +65,10 @@ type WorkerOptions struct {
 	// Log, if non-nil, receives one line per lease processed and per
 	// reconnection attempt.
 	Log func(format string, args ...any)
+	// Events, if non-nil, receives structured worker-side lifecycle
+	// records (reconnects, revoked leases, chunk failures). Strictly
+	// observational.
+	Events *obs.EventLog
 }
 
 const (
@@ -103,9 +108,9 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 	var stats Stats
 	name := opts.Name
 	if name == "" {
-		host, _ := os.Hostname()
-		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+		name = DefaultWorkerName()
 	}
+	opts.Name = name // downstream instrumentation tags events with it
 	retries := opts.DialRetries
 	switch {
 	case retries == 0:
@@ -154,6 +159,8 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 			return stats, err
 		}
 		attempts++
+		mWorkerReconnects.Inc()
+		opts.Events.Emit(obs.Event{Event: "reconnect", Worker: name, N: int64(attempts), Msg: err.Error()})
 		if attempts >= retries {
 			return stats, fmt.Errorf("sweep: worker giving up on %s after %d consecutive connection attempts: %w", addr, attempts, err)
 		}
@@ -167,6 +174,14 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 		case <-time.After(delay):
 		}
 	}
+}
+
+// DefaultWorkerName is the host:pid identity a worker reports when no
+// name is configured — shared by RunWorker and the CLI's status
+// payload so both describe the same worker.
+func DefaultWorkerName() string {
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
 }
 
 // backoffDelay doubles from base toward max with attempt count, then
@@ -361,7 +376,7 @@ func serveSession(ctx context.Context, sess *workerSession, resolve WorkerJobRes
 			if err != nil {
 				return &transportError{err: err}
 			}
-			chunkStats, err := runLease(ctx, wc, m, resolve, sess.heartbeat, opts.Log)
+			chunkStats, err := runLease(ctx, wc, m, resolve, sess.heartbeat, opts)
 			stats.Executed += chunkStats.Executed
 			stats.CacheHits += chunkStats.CacheHits
 			if err != nil {
@@ -417,7 +432,8 @@ func (c *chunkFailure) Unwrap() error { return c.err }
 // back as a *chunkFailure (reported to the coordinator as FAIL,
 // retriable); transport loss as a *transportError (the session
 // reconnects); every other error is fatal to this worker.
-func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobResolver, heartbeat time.Duration, logf func(string, ...any)) (Stats, error) {
+func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobResolver, heartbeat time.Duration, opts WorkerOptions) (Stats, error) {
+	logf := opts.Log
 	job, err := resolve(m.ExpID, m.Fingerprint)
 	if err == nil && m.Hi > len(job.Trials) {
 		err = fmt.Errorf("lease range [%d,%d) exceeds local plan of %d trials", m.Lo, m.Hi, len(job.Trials))
@@ -438,6 +454,8 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 	results, stats, err := executeWithHeartbeat(ctx, wc, m.ID, job, trials, heartbeat)
 	if err != nil {
 		if errors.Is(err, errLeaseRevoked) {
+			mWorkerLeasesLost.Inc()
+			opts.Events.Emit(obs.Event{Event: "lease_revoked", Worker: opts.Name, Exp: m.ExpID, Lease: m.ID, Chunk: obs.ChunkRange(m.Lo, m.Hi)})
 			if logf != nil {
 				logf("lease %d revoked, chunk stolen", m.ID)
 			}
@@ -455,6 +473,8 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 			return stats, &transportError{err: fmt.Errorf("sweep: lease %d: heartbeat connection to coordinator lost: %w", m.ID, te.Unwrap())}
 		}
 		sendFail(wc, "FAIL", m.ID, err)
+		mWorkerChunkFailures.Inc()
+		opts.Events.Emit(obs.Event{Event: "chunk_fail", Worker: opts.Name, Exp: m.ExpID, Lease: m.ID, Chunk: obs.ChunkRange(m.Lo, m.Hi), Msg: err.Error()})
 		if logf != nil {
 			logf("lease %d: %s trials [%d,%d) failed: %v", m.ID, m.ExpID, m.Lo, m.Hi, err)
 		}
@@ -491,6 +511,7 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 	}
 	switch verb, fields := splitMsg(line); verb {
 	case "OK", "GONE": // GONE: lease was stolen but the results were accepted
+		mWorkerChunks.Inc()
 		return stats, nil
 	case "ERR":
 		return stats, fmt.Errorf("sweep: coordinator: %s", unquoteMsg(fields))
@@ -520,6 +541,7 @@ func executeWithHeartbeat(ctx context.Context, wc *wireConn, leaseID uint64, job
 			case <-hbCtx.Done():
 				return
 			case <-ticker.C:
+				mWorkerHeartbeats.Inc()
 				if err := wc.send(fmt.Sprintf("PING %d", leaseID)); err != nil {
 					cancel(&transportError{err: err})
 					return
