@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short vet bench bench-json bench-smoke ci
+.PHONY: all build test test-short vet lint bench bench-json bench-smoke ci
 
 all: ci
 
@@ -15,6 +15,24 @@ test-short:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the full static suite: go vet, the repo's own invariant
+# analyzers (cmd/sflint: determinism, lockorder, hotpath, codecreg —
+# see DESIGN.md §10), and, when installed, staticcheck and govulncheck.
+# The external tools are gated on availability so offline checkouts
+# still get vet + sflint; CI installs them and runs the same target.
+lint: vet
+	$(GO) run ./cmd/sflint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping"; \
+	fi
 
 # bench compiles and runs every benchmark once; use
 #   go test -bench ExperimentWorkers -benchtime 5x .
@@ -40,4 +58,4 @@ bench-json:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -short ./...
 
-ci: build vet test
+ci: build lint test

@@ -457,6 +457,8 @@ func progressHook(tracker *engine.RateTracker) func(engine.Progress) {
 
 // runAll is the classic mode: execute every selected experiment in
 // this process (optionally through the result cache) and print tables.
+//
+//sf:wallclock — wraps deterministic runs with elapsed-time reporting.
 func runAll(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, workers int, progress bool, cache *sweep.Cache, csvDir string) error {
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "=== %s: %s (scale %.2f, seed %d, workers %d)\n",
@@ -481,6 +483,8 @@ func runAll(ctx context.Context, selected []experiment.Experiment, cfg experimen
 
 // runShards executes one shard of every selected experiment, writing
 // one shard file per experiment into outDir.
+//
+//sf:wallclock — wraps deterministic runs with elapsed-time reporting.
 func runShards(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, spec sweep.ShardSpec, workers int, progress bool, cache *sweep.Cache, outDir string, resume bool) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return fmt.Errorf("creating shard output directory: %w", err)
@@ -529,6 +533,8 @@ type coordStatus struct {
 
 // runCoordinator serves the selected experiments' trials to -worker
 // processes and prints the reduced tables once every trial reports.
+//
+//sf:wallclock — fleet orchestration; timing is operational output.
 func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, events *obs.EventLog) error {
 	total := 0
 	expIDs := make([]string, 0, len(selected))
@@ -671,6 +677,8 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 
 // runWorker joins a coordinator and executes leased chunks until the
 // sweep is done.
+//
+//sf:wallclock — fleet orchestration; timing is operational output.
 func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, cache *sweep.Cache, events *obs.EventLog) error {
 	eopts := engine.Options{Workers: o.workers}
 	if o.progress {

@@ -103,6 +103,10 @@ func (o *options) resolve() (model.Model, error) {
 	return model.New(o.model, o.params)
 }
 
+// run generates the requested graph and prints its statistics; the
+// elapsed-time line on stderr is the only nondeterministic output.
+//
+//sf:wallclock — generation timing is reported to stderr.
 func run(args []string, stdout, stderr io.Writer) error {
 	o, err := parseOptions(args)
 	if err != nil {

@@ -104,6 +104,10 @@ func listModels(w io.Writer) {
 	}
 }
 
+// run generates and emits the requested graph; the elapsed-time line
+// on stderr is the only nondeterministic output.
+//
+//sf:wallclock — generation timing is reported to stderr.
 func run(args []string, stdout, stderr io.Writer) error {
 	o, err := parseOptions(args)
 	if err != nil {

@@ -78,9 +78,13 @@ func (c Config) Validate() error {
 	if math.IsNaN(c.Alpha) || c.Alpha <= 0 || c.Alpha > 1 {
 		return fmt.Errorf("cooperfrieze: Alpha = %v out of (0, 1]", c.Alpha)
 	}
-	for name, v := range map[string]float64{"Beta": c.Beta, "Gamma": c.Gamma, "Delta": c.Delta} {
-		if math.IsNaN(v) || v < 0 || v > 1 {
-			return fmt.Errorf("cooperfrieze: %s = %v out of [0, 1]", name, v)
+	probs := []struct {
+		name string
+		v    float64
+	}{{"Beta", c.Beta}, {"Gamma", c.Gamma}, {"Delta", c.Delta}}
+	for _, p := range probs {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("cooperfrieze: %s = %v out of [0, 1]", p.name, p.v)
 		}
 	}
 	return nil

@@ -143,15 +143,14 @@ func RunScratch[T, S any](ctx context.Context, trials []Trial, opts Options, new
 					// and skipped trials must not masquerade as failures.
 					continue
 				}
-				start := time.Now()
-				res, err := runTrial(ctx, trials[i], scratch, fn)
+				res, elapsed, err := timedTrial(ctx, trials[i], scratch, fn)
 				if err != nil {
 					errs[i] = err
 					cancel()
 				} else {
 					results[i] = res
 				}
-				report(trials[i], time.Since(start), err)
+				report(trials[i], elapsed, err)
 			}
 		}()
 	}
@@ -186,6 +185,17 @@ func RunScratch[T, S any](ctx context.Context, trials []Trial, opts Options, new
 
 // runTrial runs one trial with a fresh RNG, converting panics into
 // errors so one bad trial cannot take down the pool.
+// timedTrial runs one trial and measures its wall-clock duration. The
+// duration feeds only Progress.Elapsed; it never reaches a result, so
+// this is the single sanctioned wall-clock read in the engine.
+//
+//sf:wallclock — per-trial elapsed time is progress output only.
+func timedTrial[T, S any](ctx context.Context, t Trial, scratch S, fn func(ctx context.Context, t Trial, r *rng.RNG, scratch S) (T, error)) (T, time.Duration, error) {
+	start := time.Now()
+	res, err := runTrial(ctx, t, scratch, fn)
+	return res, time.Since(start), err
+}
+
 func runTrial[T, S any](ctx context.Context, t Trial, scratch S, fn func(ctx context.Context, t Trial, r *rng.RNG, scratch S) (T, error)) (res T, err error) {
 	defer func() {
 		if p := recover(); p != nil {

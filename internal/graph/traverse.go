@@ -21,6 +21,8 @@ func BFS(g *Graph, src Vertex) []int32 {
 // BFSInto is BFS with caller-provided buffers for allocation-free reuse
 // across many sources. dist must have length n+1; queue is a scratch
 // buffer whose contents are overwritten.
+//
+//sf:hotpath
 func BFSInto(g *Graph, src Vertex, dist []int32, queue []Vertex) {
 	if src <= 0 || int(src) > g.NumVertices() {
 		panic("graph: BFS source out of range")
@@ -217,6 +219,8 @@ func BFSParallel(g *Graph, src Vertex, workers int) []int32 {
 // BFSInto). s may be nil (fresh buffers); passing a reused *BFSScratch
 // makes steady-state traversal allocation-free. workers <= 1 runs
 // serially.
+//
+//sf:hotpath
 func BFSParallelInto(g *Graph, src Vertex, dist []int32, workers int, s *BFSScratch) {
 	if src <= 0 || int(src) > g.NumVertices() {
 		panic("graph: BFS source out of range")
@@ -255,6 +259,8 @@ func DoubleSweepLowerBound(g *Graph, src Vertex) int {
 
 // DoubleSweepLowerBoundInto is DoubleSweepLowerBound with caller-
 // provided BFS buffers (BFSInto conventions) for allocation-free reuse.
+//
+//sf:hotpath
 func DoubleSweepLowerBoundInto(g *Graph, src Vertex, dist []int32, queue []Vertex) int {
 	BFSInto(g, src, dist, queue)
 	far := src

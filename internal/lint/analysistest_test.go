@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the fixture harness, shaped like
+// golang.org/x/tools/go/analysis/analysistest: fixture packages live
+// under testdata/src/<name> (GOPATH layout, so fixtures import each
+// other by directory name), and expected findings are declared inline
+// with trailing comments of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// Every diagnostic must be matched by a want on its line, and every
+// want must match a diagnostic — drift in either direction fails the
+// test.
+
+// RunFixture loads testdata/src/<fixture> and runs the analyzers over
+// it, checking the findings against the fixture's want comments. The
+// full pipeline runs, so fixtures can also exercise //sflint:ignore
+// suppression.
+func RunFixture(t *testing.T, fixture string, analyzers ...*Analyzer) *Result {
+	t.Helper()
+	loader := NewLoader("testdata/src", "")
+	pkg, err := loader.LoadPackage(fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	res, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running %s: %v", fixture, err)
+	}
+	checkWants(t, pkg, res.All())
+	return res
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// collectWants parses the fixture's // want comments.
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos.String(), rest) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses the sequence of quoted regexps after "want".
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: want expects quoted regexps, got %q", pos, s)
+		}
+		var lit string
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[0] && (s[0] == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want regexp in %q", pos, s)
+		}
+		lit = s[:end+1]
+		s = strings.TrimSpace(s[end+1:])
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+		}
+		out = append(out, unq)
+	}
+	return out
+}
+
+// checkWants matches findings against want comments, both ways.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// fixtureError loads a fixture expecting a load-time error (malformed
+// annotations) and returns it.
+func fixtureError(t *testing.T, fixture string) error {
+	t.Helper()
+	loader := NewLoader("testdata/src", "")
+	_, err := loader.LoadPackage(fixture)
+	if err == nil {
+		t.Fatalf("fixture %s: expected a load error, got none", fixture)
+	}
+	return err
+}

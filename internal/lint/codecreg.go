@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CodecReg proves the two registration contracts the sweep layer's
+// runtime panics only catch when a test happens to exercise them:
+//
+//  1. Every exported wire result type in package experiment (the
+//     *Result structs trial functions return across the codec) must
+//     be registered with sweep.RegisterResult — an unregistered type
+//     fails at EncodeResult, mid-sweep, on the first trial that
+//     returns it.
+//  2. Every model Family's declared Params must be read by its Build
+//     hook, and every parameter Build reads must be declared. A
+//     declared-but-unread parameter silently widens the canonical
+//     encoding (and therefore every trial key and plan fingerprint)
+//     without affecting generation; an undeclared read silently takes
+//     the zero value.
+var CodecReg = &Analyzer{
+	Name: "codecreg",
+	Doc: "require sweep.RegisterResult for exported experiment *Result types and " +
+		"exact Param coverage in model Family Build hooks",
+	Run: runCodecReg,
+}
+
+func runCodecReg(pass *Pass) error {
+	if pass.Pkg.Name() == "experiment" {
+		checkResultRegistration(pass)
+	}
+	checkFamilyParams(pass)
+	return nil
+}
+
+// checkResultRegistration verifies every exported …Result struct type
+// is a type argument of some sweep.RegisterResult call.
+func checkResultRegistration(pass *Pass) {
+	registered := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var index ast.Expr
+			var funExpr ast.Expr
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.IndexExpr:
+				index, funExpr = fun.Index, fun.X
+			default:
+				return true
+			}
+			sel, ok := ast.Unparen(funExpr).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Name() != "RegisterResult" || fn.Pkg() == nil || fn.Pkg().Name() != "sweep" {
+				return true
+			}
+			tv, ok := pass.Info.Types[index]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			if named, ok := tv.Type.(*types.Named); ok {
+				registered[named.Obj()] = true
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() || !strings.HasSuffix(ts.Name.Name, "Result") {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				obj := pass.Info.Defs[ts.Name]
+				if obj == nil || registered[obj] {
+					continue
+				}
+				pass.Reportf(ts.Pos(), "exported wire result type %s is not registered with sweep.RegisterResult: the first trial returning it fails at EncodeResult mid-sweep", ts.Name.Name)
+			}
+		}
+	}
+}
+
+// checkFamilyParams verifies declared-vs-read parameter coverage for
+// every model.Family composite literal in the package.
+func checkFamilyParams(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isNamedStruct(pass, cl, "Family") {
+				return true
+			}
+			checkOneFamily(pass, cl)
+			return true
+		})
+	}
+}
+
+// isNamedStruct reports whether the composite literal's type is a
+// struct type named name (in any package — the fixture stubs and the
+// real internal/model both match).
+func isNamedStruct(pass *Pass, cl *ast.CompositeLit, name string) bool {
+	tv, ok := pass.Info.Types[cl]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != name {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}
+
+func checkOneFamily(pass *Pass, family *ast.CompositeLit) {
+	familyName := "(unnamed)"
+	var paramsLit *ast.CompositeLit
+	var build *ast.FuncLit
+	for _, elt := range family.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional Family literals are not used; skip
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if s, ok := stringLit(kv.Value); ok {
+				familyName = s
+			}
+		case "Params":
+			paramsLit, _ = ast.Unparen(kv.Value).(*ast.CompositeLit)
+		case "Build":
+			build, _ = ast.Unparen(kv.Value).(*ast.FuncLit)
+		}
+	}
+	if paramsLit == nil || build == nil {
+		return // dynamically built declarations are out of scope
+	}
+	declared := map[string]ast.Expr{}
+	var declOrder []string
+	for _, elt := range paramsLit.Elts {
+		pl, ok := ast.Unparen(elt).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		name, pos := paramLitName(pl)
+		if name == "" {
+			continue
+		}
+		if _, dup := declared[name]; !dup {
+			declared[name] = pos
+			declOrder = append(declOrder, name)
+		}
+	}
+	used, escapes := buildParamReads(pass, build)
+	for _, name := range declOrder {
+		if !used[name] && !escapes {
+			pass.Reportf(declared[name].Pos(), "family %q declares parameter %q but its Build hook never reads it: the canonical encoding (and every plan fingerprint) would vary on a value generation ignores", familyName, name)
+		}
+	}
+	names := make([]string, 0, len(used))
+	for n := range used {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, ok := declared[name]; !ok {
+			pass.Reportf(usePos(pass, build, name).Pos(), "Build of family %q reads parameter %q, which the family does not declare: the lookup silently yields the zero value", familyName, name)
+		}
+	}
+}
+
+// paramLitName extracts the Name of one Param composite literal,
+// keyed or positional.
+func paramLitName(pl *ast.CompositeLit) (string, ast.Expr) {
+	for i, elt := range pl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Name" {
+				if s, ok := stringLit(kv.Value); ok {
+					return s, kv.Value
+				}
+			}
+			continue
+		}
+		if i == 0 { // positional: Name is the first field
+			if s, ok := stringLit(elt); ok {
+				return s, elt
+			}
+		}
+	}
+	return "", nil
+}
+
+// buildParamReads collects the string-literal parameter names the
+// Build hook reads from its Values argument (v.Int("n"), v.Bool("b"),
+// v["p"], …). escapes reports that the Values variable is also used
+// some other way (passed along, ranged over), in which case
+// declared-but-unread coverage cannot be proven and is not reported.
+func buildParamReads(pass *Pass, build *ast.FuncLit) (used map[string]bool, escapes bool) {
+	used = map[string]bool{}
+	params := build.Type.Params
+	if params == nil || len(params.List) == 0 || len(params.List[0].Names) == 0 {
+		return used, true
+	}
+	vObj := pass.Info.Defs[params.List[0].Names[0]]
+	if vObj == nil {
+		return used, true
+	}
+	ast.Inspect(build.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != vObj {
+			return true
+		}
+		key, ok := paramReadKey(pass, build, id)
+		if !ok {
+			escapes = true
+			return true
+		}
+		if key != "" {
+			used[key] = true
+		}
+		return true
+	})
+	return used, escapes
+}
+
+// paramReadKey classifies one use of the Values variable: a read with
+// a string-literal key returns the key; non-literal keys and any
+// other use (passing v along, ranging over it) report !ok — an
+// escape, which disables the declared-but-unread half of the check.
+func paramReadKey(pass *Pass, build *ast.FuncLit, id *ast.Ident) (string, bool) {
+	path := enclosingPath(build, id.Pos())
+	// path ends at id; look outward (toward smaller indexes),
+	// skipping parentheses.
+	for i := len(path) - 2; i >= 0; i-- {
+		switch parent := path[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.IndexExpr:
+			if ast.Unparen(parent.X) != ast.Expr(id) {
+				return "", false
+			}
+			s, ok := stringLit(parent.Index)
+			if !ok {
+				return "", false
+			}
+			return s, true
+		case *ast.SelectorExpr:
+			// v.Int / v.Bool — must be immediately called with a
+			// string literal.
+			if i == 0 {
+				return "", false
+			}
+			call, ok := path[i-1].(*ast.CallExpr)
+			if !ok || ast.Unparen(call.Fun) != ast.Expr(parent) || len(call.Args) != 1 {
+				return "", false
+			}
+			s, ok := stringLit(call.Args[0])
+			if !ok {
+				return "", false
+			}
+			return s, true
+		default:
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// usePos finds the position of the first read of name inside the
+// Build hook for diagnostics.
+func usePos(pass *Pass, build *ast.FuncLit, name string) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(build.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if lit, ok := n.(*ast.BasicLit); ok {
+			if s, ok := stringLit(lit); ok && s == name {
+				found = lit
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		return build
+	}
+	return found
+}
+
+// enclosingPath returns the node path from build down to the node at
+// pos (outermost first, the node starting at pos last).
+func enclosingPath(build *ast.FuncLit, pos token.Pos) []ast.Node {
+	var path []ast.Node
+	ast.Inspect(build, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false
+		}
+		path = append(path, n)
+		return true
+	})
+	return path
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

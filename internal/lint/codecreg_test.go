@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestCodecRegResultRegistration(t *testing.T) {
+	RunFixture(t, "experiment", CodecReg)
+}
+
+func TestCodecRegFamilyParams(t *testing.T) {
+	RunFixture(t, "families", CodecReg)
+}

@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the DESIGN.md §9 boundary: code on the
+// deterministic side (everything not annotated //sf:wallclock) may
+// not read the wall clock, the process environment, or the global
+// math/rand stream, and may not let map iteration order leak into
+// values that feed return statements, output writers, or the sweep
+// codec. The sanctioned map pattern is order-insensitive accumulation
+// or sorted-key extraction: append the keys to a slice, sort, then
+// iterate the slice.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand, env reads, and order-leaking " +
+		"map iteration outside //sf:wallclock code",
+	Run: runDeterminism,
+}
+
+// forbiddenCalls maps package path -> function name -> diagnostic
+// fragment. Only package-level functions are matched; methods (e.g.
+// (*rand.Rand).Intn on a seeded generator) stay legal.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read time.Now",
+		"Since": "wall-clock read time.Since",
+		"Until": "wall-clock read time.Until",
+	},
+	"os": {
+		"Getenv":    "environment read os.Getenv",
+		"LookupEnv": "environment read os.LookupEnv",
+		"Environ":   "environment read os.Environ",
+	},
+}
+
+// randConstructors are the math/rand package-level functions that
+// build seeded, locally-owned generators — the sanctioned entry
+// points. Every other package-level function draws from the global
+// source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runDeterminism(pass *Pass) error {
+	if pass.Notes.PkgWallclock {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Notes.WallclockFuncs[fd] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkForbiddenCall(pass, n)
+				case *ast.RangeStmt:
+					checkMapRange(pass, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkForbiddenCall flags calls to wall-clock, environment, and
+// global math/rand functions.
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods are fine; the rules target package-level funcs
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if msg, ok := forbiddenCalls[path][name]; ok {
+		pass.Reportf(call.Pos(), "%s on the deterministic side of the boundary (annotate the enclosing function or package //sf:wallclock if this is progress/ops code)", msg)
+		return
+	}
+	if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name] {
+		pass.Reportf(call.Pos(), "global math/rand call rand.%s draws from the process-wide stream; use a seeded generator (internal/rng or rand.New) threaded through the trial", name)
+	}
+}
+
+// calleeFunc resolves a call's callee to a types.Func, if it is a
+// statically known function or method.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkMapRange classifies the body of a range-over-map loop. The
+// loop is sanctioned when every statement is order-insensitive:
+// key/value extraction into a slice (to be sorted), commutative
+// accumulation (x++, x += v), map writes, deletes, and guarded
+// updates (if v > best { best = v }). Anything that can observe the
+// iteration order — calls, sends, returns mentioning the loop
+// variables, unguarded overwrites — is reported: those are exactly
+// the paths that leak map order into returns, writers, or the codec.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	c := &mapRangeChecker{pass: pass, body: rs.Body}
+	c.loopVar(rs.Key)
+	c.loopVar(rs.Value)
+	c.stmts(rs.Body.List, false)
+	if c.bad != nil {
+		pass.Reportf(c.bad.Pos(), "map iteration order can reach %s; extract and sort the keys first (or make the loop body order-insensitive)", c.detail)
+	}
+}
+
+type mapRangeChecker struct {
+	pass     *Pass
+	body     *ast.BlockStmt
+	loopVars map[types.Object]bool
+	bad      ast.Node
+	detail   string
+}
+
+func (c *mapRangeChecker) loopVar(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if c.loopVars == nil {
+		c.loopVars = map[types.Object]bool{}
+	}
+	if obj := c.pass.Info.Defs[id]; obj != nil {
+		c.loopVars[obj] = true
+	}
+	if obj := c.pass.Info.Uses[id]; obj != nil {
+		c.loopVars[obj] = true
+	}
+}
+
+func (c *mapRangeChecker) flag(n ast.Node, detail string) {
+	if c.bad == nil {
+		c.bad = n
+		c.detail = detail
+	}
+}
+
+// stmts classifies a statement list; guarded is true inside
+// conditional constructs, where single overwrites (min/max tracking)
+// are order-insensitive by convention.
+func (c *mapRangeChecker) stmts(list []ast.Stmt, guarded bool) {
+	for _, s := range list {
+		c.stmt(s, guarded)
+	}
+}
+
+func (c *mapRangeChecker) stmt(s ast.Stmt, guarded bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s, guarded)
+	case *ast.IncDecStmt:
+		// Commutative accumulation.
+	case *ast.DeclStmt:
+		// Loop-local declaration.
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if name, builtin := builtinName(c.pass, call); builtin && (name == "delete" || name == "copy" || name == "clear") {
+			return
+		}
+		c.flag(s, "a function call (calls can write output or observe order)")
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, true)
+		}
+		c.stmts(s.Body.List, true)
+		if s.Else != nil {
+			c.stmt(s.Else, true)
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, guarded)
+	case *ast.ForStmt:
+		c.stmts(s.Body.List, guarded)
+	case *ast.RangeStmt:
+		// A nested range over a map gets its own diagnostic; its body
+		// still must not leak the outer loop's order.
+		c.stmts(s.Body.List, guarded)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, true)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, true)
+			}
+		}
+	case *ast.BranchStmt:
+		// break/continue/goto choose *whether* to keep iterating, not
+		// what order delivers; fine.
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if c.mentionsLoopVar(r) {
+				c.flag(s, "a return value built from the loop variables (which iteration returns depends on map order)")
+				return
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, guarded)
+	default:
+		c.flag(s, "a statement that can observe iteration order")
+	}
+}
+
+// assign classifies one assignment inside the loop.
+func (c *mapRangeChecker) assign(s *ast.AssignStmt, guarded bool) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return // compound ops (+=, |=, …) accumulate commutatively
+	}
+	// s = append(s, …) is the sanctioned extraction pattern.
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if name, builtin := builtinName(c.pass, call); builtin && name == "append" && len(call.Args) > 0 && sameExpr(s.Lhs[0], call.Args[0]) {
+				return
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			// m2[k] = v: map stores are order-insensitive (set
+			// semantics); slice stores at a loop-dependent index are
+			// too (each index written once).
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			if s.Tok == token.DEFINE || c.isLoopLocal(lhs) {
+				continue // loop-local temp, dies with the iteration
+			}
+			if guarded {
+				continue // conditional update: min/max tracking
+			}
+			// Unconditional overwrite of an outer variable: the last
+			// iteration wins, and which one is last is map order.
+			rhsDependsOnLoop := false
+			for _, r := range s.Rhs {
+				if c.mentionsLoopVar(r) {
+					rhsDependsOnLoop = true
+				}
+			}
+			if rhsDependsOnLoop {
+				c.flag(s, "an unguarded overwrite of an outer variable with a loop-dependent value (last writer wins by map order)")
+				return
+			}
+		default:
+			c.flag(s, "an assignment through a non-local target")
+			return
+		}
+	}
+}
+
+// isLoopLocal reports whether the identifier's object is declared
+// inside the loop body.
+func (c *mapRangeChecker) isLoopLocal(id *ast.Ident) bool {
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.body.Pos() && obj.Pos() <= c.body.End()
+}
+
+// mentionsLoopVar reports whether the expression reads a loop
+// variable (directly or through a loop-local temp — temps count as
+// loop-dependent because they are assigned per iteration).
+func (c *mapRangeChecker) mentionsLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pass.Info.Uses[id]; obj != nil {
+			if c.loopVars[obj] || (obj.Pos() >= c.body.Pos() && obj.Pos() <= c.body.End()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// builtinName reports the name of a builtin call (append, delete, …).
+func builtinName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// sameExpr reports whether two expressions are syntactically
+// identical simple references (x, x.y) — enough to recognise
+// s = append(s, …).
+func sameExpr(a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		bID, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && a.Name == bID.Name
+	case *ast.SelectorExpr:
+		bSel, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bSel.Sel.Name && sameExpr(a.X, bSel.X)
+	case *ast.IndexExpr:
+		bIdx, ok := ast.Unparen(b).(*ast.IndexExpr)
+		return ok && sameExpr(a.X, bIdx.X) && sameExpr(a.Index, bIdx.Index)
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, "determinism", Determinism)
+}
+
+func TestDeterminismPackageWallclock(t *testing.T) {
+	res := RunFixture(t, "wallclockpkg", Determinism)
+	if !res.Clean() {
+		t.Errorf("package-level //sf:wallclock should exempt everything, got %v", res.All())
+	}
+}

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath checks //sf:hotpath functions — the zero-steady-state-
+// allocation loops the AllocsPerRun benchmarks pin. Instead of a
+// brittle allocation count, each allocation source gets a named,
+// source-located diagnostic:
+//
+//   - append to a local slice that was not preallocated (declared
+//     empty or made without capacity) — growth allocates; appends to
+//     parameters, fields, and reslices of scratch buffers are the
+//     sanctioned amortized pattern;
+//   - function literals — closures capture their environment on the
+//     heap;
+//   - any call into package fmt — formatting allocates and boxes;
+//   - interface-boxing conversions: passing, assigning, returning, or
+//     converting a concrete value to an interface type allocates the
+//     box.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbid unpreallocated appends, closures, fmt calls, and interface boxing " +
+		"in //sf:hotpath functions",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !pass.Notes.HotpathFuncs[fd] {
+				continue
+			}
+			h := &hotpathChecker{pass: pass, fn: fd}
+			h.check(fd.Body)
+		}
+	}
+	return nil
+}
+
+type hotpathChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func (h *hotpathChecker) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			h.pass.Reportf(n.Pos(), "closure allocation in //sf:hotpath %s: function literals capture their environment on the heap; hoist the closure out of the hot path or pre-bind it on the scratch", h.fn.Name.Name)
+			return false
+		case *ast.CallExpr:
+			h.call(n)
+		case *ast.AssignStmt:
+			h.assign(n)
+		case *ast.ReturnStmt:
+			h.returnStmt(n)
+		}
+		return true
+	})
+}
+
+func (h *hotpathChecker) call(call *ast.CallExpr) {
+	// Explicit conversion to an interface type: T(x) where T is an
+	// interface and x concrete.
+	if tv, ok := h.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) {
+			h.boxing(call.Args[0], tv.Type, "conversion to")
+		}
+		return
+	}
+	if name, ok := builtinName(h.pass, call); ok {
+		if name == "append" {
+			h.append(call)
+		}
+		return
+	}
+	fn := calleeFunc(h.pass, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		h.pass.Reportf(call.Pos(), "fmt.%s call in //sf:hotpath %s: formatting allocates; use strconv.Append* into a reused buffer", fn.Name(), h.fn.Name.Name)
+		return
+	}
+	// Interface-typed parameters box concrete arguments.
+	sig := h.callSignature(call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing an existing slice, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			h.boxing(arg, pt, "argument passed as")
+		}
+	}
+}
+
+// callSignature resolves the signature of a (non-builtin, non-
+// conversion) call.
+func (h *hotpathChecker) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := h.pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// append flags appends whose target is a local slice that was not
+// preallocated with capacity.
+func (h *hotpathChecker) append(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // fields, index exprs: assume caller-managed backing
+	}
+	obj, ok := h.pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return
+	}
+	// Parameters and results are caller-preallocated by contract.
+	if h.isParamOrResult(obj) {
+		return
+	}
+	// Local: find its declaration and check the initializer.
+	decl := h.localDeclValue(obj)
+	switch d := decl.(type) {
+	case nil:
+		// var s []T with no initializer — nil slice, every growth
+		// allocates.
+		h.pass.Reportf(call.Pos(), "append to unpreallocated local slice %s in //sf:hotpath %s: declare it with capacity (make, or reslice a scratch buffer to [:0])", id.Name, h.fn.Name.Name)
+	case *ast.CompositeLit:
+		if len(d.Elts) == 0 {
+			h.pass.Reportf(call.Pos(), "append to unpreallocated local slice %s in //sf:hotpath %s: the empty literal has no capacity; make it with one or reslice a scratch buffer", id.Name, h.fn.Name.Name)
+		}
+	case *ast.CallExpr:
+		if name, ok := builtinName(h.pass, d); ok && name == "make" && len(d.Args) < 3 {
+			if len(d.Args) == 2 && !isZeroLiteral(d.Args[1]) {
+				return // make([]T, n): len doubles as capacity
+			}
+			h.pass.Reportf(call.Pos(), "append to local slice %s made without capacity in //sf:hotpath %s: give make a capacity argument", id.Name, h.fn.Name.Name)
+		}
+	}
+}
+
+// isParamOrResult reports whether the variable is one of the
+// function's parameters or named results.
+func (h *hotpathChecker) isParamOrResult(v *types.Var) bool {
+	ft := h.fn.Type
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if h.pass.Info.Defs[n] == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if check(ft.Params) || check(ft.Results) {
+		return true
+	}
+	if h.fn.Recv != nil && check(h.fn.Recv) {
+		return true
+	}
+	return false
+}
+
+// localDeclValue finds the initializer expression of a local
+// variable, or nil when declared without one. Unresolvable
+// declarations return a non-nil sentinel so they are not flagged.
+func (h *hotpathChecker) localDeclValue(v *types.Var) ast.Expr {
+	var init ast.Expr
+	declared := false
+	ast.Inspect(h.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || h.pass.Info.Defs[id] != v {
+					continue
+				}
+				declared = true
+				if len(n.Rhs) == len(n.Lhs) {
+					init = ast.Unparen(n.Rhs[i])
+				} else {
+					init = n.Rhs[0] // multi-value: unknown shape, don't flag
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if h.pass.Info.Defs[name] != v {
+					continue
+				}
+				declared = true
+				if i < len(n.Values) {
+					init = ast.Unparen(n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	if !declared {
+		return &ast.BadExpr{} // not found: assume managed elsewhere
+	}
+	return init
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}
+
+func (h *hotpathChecker) assign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		tv, ok := h.pass.Info.Types[lhs]
+		if !ok || tv.Type == nil || !types.IsInterface(tv.Type) {
+			continue
+		}
+		h.boxing(s.Rhs[i], tv.Type, "assignment to")
+	}
+}
+
+func (h *hotpathChecker) returnStmt(s *ast.ReturnStmt) {
+	results := h.fn.Type.Results
+	if results == nil || len(s.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range results.List {
+		tv, ok := h.pass.Info.Types[f.Type]
+		if !ok {
+			return
+		}
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			resultTypes = append(resultTypes, tv.Type)
+		}
+	}
+	if len(s.Results) != len(resultTypes) {
+		return // returning a multi-value call; boxing happens there
+	}
+	for i, r := range s.Results {
+		if types.IsInterface(resultTypes[i]) {
+			h.boxing(r, resultTypes[i], "return value of")
+		}
+	}
+}
+
+// boxing reports when expr's concrete value would be boxed into the
+// interface type target.
+func (h *hotpathChecker) boxing(expr ast.Expr, target types.Type, context string) {
+	tv, ok := h.pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return // nil and interface-to-interface don't box a new value
+	}
+	// Untyped constants stored in interfaces still box, but the
+	// canonical offenders here are runtime values.
+	h.pass.Reportf(expr.Pos(), "interface boxing in //sf:hotpath %s: %s interface type %s wraps concrete %s in a heap box", h.fn.Name.Name, context, target.String(), tv.Type.String())
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestHotPathFixture(t *testing.T) {
+	RunFixture(t, "hotpath", HotPath)
+}

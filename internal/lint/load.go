@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Dir   string // absolute directory
+	Path  string // import path ("scalefree/internal/sweep")
+	Name  string // package name ("sweep")
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Notes *Notes
+}
+
+// Loader type-checks a tree of Go packages using only the standard
+// library: module-internal import paths resolve to directories under
+// Root and are checked from source in dependency order; everything
+// else (the standard library) goes through the source importer, so no
+// pre-compiled export data is required.
+type Loader struct {
+	// Root is the directory tree to load.
+	Root string
+	// ModulePath maps Root to an import-path prefix ("scalefree").
+	// When empty, each immediate subdirectory of Root is a package
+	// whose import path is its directory name — the GOPATH-style
+	// layout the analysistest fixtures use.
+	ModulePath string
+
+	fset    *token.FileSet
+	std     types.Importer
+	parsed  map[string]*parsedPkg // import path -> parsed files
+	checked map[string]*Package   // import path -> completed package
+	loading map[string]bool       // import-cycle guard
+	scanned bool
+}
+
+type parsedPkg struct {
+	dir   string
+	files []*ast.File
+}
+
+// NewLoader returns a loader rooted at root. modulePath may be empty
+// for the fixture layout (see Loader.ModulePath).
+func NewLoader(root, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:       root,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		parsed:     map[string]*parsedPkg{},
+		checked:    map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// ModulePathOf reads the module path out of the go.mod at root.
+func ModulePathOf(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// Load parses and type-checks every package under Root (skipping
+// testdata, hidden directories, and _test.go files) and returns them
+// in import-path order. Dependencies load on demand, so the slice is
+// closed under module-internal imports.
+func (l *Loader) Load() ([]*Package, error) {
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(l.parsed))
+	for p := range l.parsed {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadPackage scans Root and type-checks the single package at
+// importPath (plus, recursively, its dependencies).
+func (l *Loader) LoadPackage(importPath string) (*Package, error) {
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	return l.load(importPath)
+}
+
+// scan discovers and parses every package directory under Root. It
+// runs once per loader.
+func (l *Loader) scan() error {
+	if l.scanned {
+		return nil
+	}
+	l.scanned = true
+	return filepath.Walk(l.Root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		base := info.Name()
+		if p != l.Root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "testdata") {
+			return filepath.SkipDir
+		}
+		pkg, err := l.parseDir(p)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			path, ok := l.importPathFor(p)
+			if ok {
+				l.parsed[path] = pkg
+			}
+		}
+		return nil
+	})
+}
+
+// importPathFor maps a directory under Root to its import path.
+func (l *Loader) importPathFor(dir string) (string, bool) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", false
+	}
+	rel = filepath.ToSlash(rel)
+	if l.ModulePath == "" {
+		// Fixture layout: packages are the subdirectories themselves.
+		if rel == "." {
+			return "", false
+		}
+		return rel, true
+	}
+	if rel == "." {
+		return l.ModulePath, true
+	}
+	return l.ModulePath + "/" + rel, true
+}
+
+// parseDir parses the non-test Go files of one directory, honouring
+// build constraints so mutually exclusive files (mmap_unix.go /
+// mmap_other.go) do not collide. Returns nil when the directory holds
+// no Go package.
+func (l *Loader) parseDir(dir string) (*parsedPkg, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var files []*ast.File
+	for _, f := range matches {
+		name := filepath.Base(f)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &parsedPkg{dir: dir, files: files}, nil
+}
+
+// load type-checks one scanned package (and, recursively, its
+// module-internal dependencies).
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pp := l.parsed[path]
+	if pp == nil {
+		return nil, fmt.Errorf("lint: package %s not found under %s", path, l.Root)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(dep string) (*types.Package, error) {
+		if _, ours := l.parsed[dep]; ours {
+			pkg, err := l.load(dep)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+		return l.std.Import(dep)
+	})}
+	tpkg, err := conf.Check(path, l.fset, pp.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	pkg := &Package{
+		Dir:   pp.dir,
+		Path:  path,
+		Name:  tpkg.Name(),
+		Fset:  l.fset,
+		Files: pp.files,
+		Types: tpkg,
+		Info:  info,
+	}
+	notes, err := parseNotes(pkg)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Notes = notes
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,557 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder checks the package's declared mutex discipline. Mutex
+// fields are named with //sf:mutex NAME; //sf:lockorder A B declares
+// that A may be held when acquiring B (and therefore that acquiring A
+// while holding B is an inversion). The analyzer walks every function
+// with a held-lock set, resolves calls through the package-internal
+// call graph — including indirect calls through func-typed struct
+// fields, which is how the coordinator's onDrop callback runs under
+// leases.mu — and reports: re-acquisition of a held lock
+// (sync.Mutex self-deadlock), nesting against the declared order, and
+// nesting of any pair with no declared order at all. Functions
+// annotated //sf:locksequential may never hold two annotated locks
+// simultaneously, by any order — the discipline CoordObserver.Snapshot
+// documents.
+//
+// The walk is source-ordered and intraprocedural with transitive
+// may-acquire summaries: a branch that unlocks and returns restores
+// the held set for the code after it, deferred unlocks hold to the
+// end of the function, and goroutine bodies are analyzed as separate
+// roots (their locks are concurrent, not nested).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "enforce //sf:lockorder declarations over //sf:mutex fields, through the " +
+		"package call graph including func-field callbacks",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	if len(pass.Notes.Mutexes) == 0 {
+		return nil
+	}
+	lo := &lockAnalysis{pass: pass}
+	lo.collect()
+	lo.summarize()
+	for _, root := range lo.roots {
+		w := &lockWalker{lo: lo, sequential: root.sequential, held: nil}
+		w.block(root.body)
+	}
+	return nil
+}
+
+// lockAnalysis is the per-package state of one lockorder run.
+type lockAnalysis struct {
+	pass *Pass
+	// decls maps a package function/method object to its body.
+	decls map[*types.Func]*ast.BlockStmt
+	// fieldFuncs maps a func-typed struct field to the bodies of every
+	// function value assigned to it anywhere in the package.
+	fieldFuncs map[types.Object][]*ast.BlockStmt
+	// mayAcquire is the transitive lock summary per body.
+	mayAcquire map[*ast.BlockStmt]map[string]bool
+	// calls lists the bodies each body may invoke (same package).
+	calls map[*ast.BlockStmt]map[*ast.BlockStmt]bool
+	// roots are the independently walked units: every declared
+	// function plus every function literal.
+	roots []lockRoot
+}
+
+type lockRoot struct {
+	body       *ast.BlockStmt
+	sequential bool
+}
+
+// collect builds the call-graph inputs: declared bodies, func-field
+// assignments, and the walk roots.
+func (lo *lockAnalysis) collect() {
+	lo.decls = map[*types.Func]*ast.BlockStmt{}
+	lo.fieldFuncs = map[types.Object][]*ast.BlockStmt{}
+	for _, file := range lo.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := lo.pass.Info.Defs[fd.Name].(*types.Func); ok {
+				lo.decls[fn] = fd.Body
+			}
+			lo.roots = append(lo.roots, lockRoot{body: fd.Body, sequential: lo.pass.Notes.SequentialFuncs[fd]})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				lo.roots = append(lo.roots, lockRoot{body: n.Body})
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					lo.recordFieldFunc(lhs, n.Rhs[i])
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						lo.recordFieldFunc(kv.Key, kv.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// recordFieldFunc records rhs as a possible dynamic callee of the
+// func-typed struct field lhs refers to.
+func (lo *lockAnalysis) recordFieldFunc(lhs, rhs ast.Expr) {
+	var fieldID *ast.Ident
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		fieldID = l.Sel
+	case *ast.Ident:
+		fieldID = l
+	default:
+		return
+	}
+	obj := lo.pass.Info.Uses[fieldID]
+	if obj == nil {
+		obj = lo.pass.Info.Defs[fieldID]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return
+	}
+	if _, isSig := v.Type().Underlying().(*types.Signature); !isSig {
+		return
+	}
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.FuncLit:
+		lo.fieldFuncs[v] = append(lo.fieldFuncs[v], r.Body)
+	case *ast.Ident, *ast.SelectorExpr:
+		if fn := lo.resolveFunc(r); fn != nil {
+			if body, ok := lo.decls[fn]; ok {
+				lo.fieldFuncs[v] = append(lo.fieldFuncs[v], body)
+			}
+		}
+	}
+}
+
+func (lo *lockAnalysis) resolveFunc(e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, _ := lo.pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// mutexName resolves call to an annotated-mutex method; op is "Lock",
+// "RLock", "Unlock", or "RUnlock".
+func (lo *lockAnalysis) mutexName(call *ast.CallExpr) (name, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := lo.pass.Info.Uses[inner.Sel]
+	if obj == nil {
+		return "", "", false
+	}
+	n, annotated := lo.pass.Notes.Mutexes[obj]
+	if !annotated {
+		return "", "", false
+	}
+	return n, sel.Sel.Name, true
+}
+
+// summarize computes the transitive may-acquire sets by fixpoint over
+// the package call graph.
+func (lo *lockAnalysis) summarize() {
+	lo.mayAcquire = map[*ast.BlockStmt]map[string]bool{}
+	lo.calls = map[*ast.BlockStmt]map[*ast.BlockStmt]bool{}
+	for _, root := range lo.roots {
+		body := root.body
+		acquires := map[string]bool{}
+		callees := map[*ast.BlockStmt]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				// Goroutine locks run concurrently with the caller, not
+				// nested under its held set; the goroutine body is its
+				// own root.
+				return false
+			case *ast.FuncLit:
+				if n.Body != body {
+					// Nested literal: its locks surface at its own call
+					// sites (or, when deferred/immediately invoked,
+					// within this body's dynamic extent — still an
+					// acquisition this call may perform, so include it).
+					// Being stored for later is over-approximated the
+					// same way; conservative for the checks we make.
+					return true
+				}
+			case *ast.CallExpr:
+				if name, op, ok := lo.mutexName(n); ok {
+					if op == "Lock" || op == "RLock" {
+						acquires[name] = true
+					}
+					return true
+				}
+				if fn := lo.resolveFunc(n.Fun); fn != nil {
+					if calleeBody, ok := lo.decls[fn]; ok {
+						callees[calleeBody] = true
+					}
+					return true
+				}
+				if bodies := lo.fieldCallees(n); bodies != nil {
+					for _, b := range bodies {
+						callees[b] = true
+					}
+				}
+			}
+			return true
+		})
+		lo.mayAcquire[body] = acquires
+		lo.calls[body] = callees
+	}
+	for changed := true; changed; {
+		changed = false
+		for body, callees := range lo.calls {
+			for callee := range callees {
+				for name := range lo.mayAcquire[callee] {
+					if !lo.mayAcquire[body][name] {
+						lo.mayAcquire[body][name] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// fieldCallees resolves an indirect call through a func-typed struct
+// field to the function values assigned to that field in this package.
+func (lo *lockAnalysis) fieldCallees(call *ast.CallExpr) []*ast.BlockStmt {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := lo.pass.Info.Uses[sel.Sel]
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return lo.fieldFuncs[v]
+	}
+	return nil
+}
+
+// ordered reports whether holding `before` while acquiring `after` is
+// a declared order.
+func (lo *lockAnalysis) ordered(before, after string) bool {
+	for _, p := range lo.pass.Notes.LockOrder {
+		if p[0] == before && p[1] == after {
+			return true
+		}
+	}
+	return false
+}
+
+// lockWalker walks one function body in source order with a held set.
+type lockWalker struct {
+	lo         *lockAnalysis
+	sequential bool
+	held       []string
+}
+
+func (w *lockWalker) holds(name string) bool {
+	for _, h := range w.held {
+		if h == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) release(name string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == name {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkAcquire validates taking lock `name` at pos against the held
+// set; via describes an indirect acquisition ("via call to f").
+func (w *lockWalker) checkAcquire(name string, pos token.Pos, via string) {
+	pass := w.lo.pass
+	if w.sequential && len(w.held) > 0 {
+		pass.Reportf(pos, "//sf:locksequential function acquires %s%s while holding %s; this function must take its locks sequentially, never nested", name, via, w.held[len(w.held)-1])
+		return
+	}
+	if w.holds(name) {
+		pass.Reportf(pos, "%s acquired%s while already held (sync mutexes are not reentrant: self-deadlock)", name, via)
+		return
+	}
+	for _, h := range w.held {
+		if w.lo.ordered(h, name) {
+			continue
+		}
+		if w.lo.ordered(name, h) {
+			pass.Reportf(pos, "%s acquired%s while holding %s, inverting the declared //sf:lockorder %s %s", name, via, h, name, h)
+		} else {
+			pass.Reportf(pos, "%s acquired%s while holding %s with no declared //sf:lockorder between them", name, via, h)
+		}
+	}
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.expr(s.Cond)
+		w.branch(s.Body)
+		if s.Else != nil {
+			before := append([]string(nil), w.held...)
+			w.stmt(s.Else)
+			w.held = before
+		}
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.block(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.caseBodies(s.Body)
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				before := append([]string(nil), w.held...)
+				for _, bs := range cc.Body {
+					w.stmt(bs)
+				}
+				w.held = before
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock releases at return: the lock stays held
+		// for the remainder of the walk, which is exactly the deferred
+		// semantics for nesting checks. Other deferred calls run
+		// within this call's dynamic extent with whatever is still
+		// held at return — conservatively checked against the current
+		// held set.
+		if name, op, ok := w.lo.mutexName(s.Call); ok {
+			if op == "Lock" || op == "RLock" {
+				w.checkAcquire(name, s.Call.Pos(), " (deferred)")
+				w.held = append(w.held, name)
+			}
+			return
+		}
+		w.call(s.Call)
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently; its locks are not
+		// nested under ours. Its body is walked as an independent
+		// root. Arguments are evaluated here, though.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// branch walks an if-body; when the branch terminates (return, panic,
+// break, continue), the held set is restored afterwards — the code
+// after the if only runs when the branch was not taken, so the
+// early-exit `if bad { mu.Unlock(); return }` pattern keeps the lock
+// held for the fallthrough path.
+func (w *lockWalker) branch(b *ast.BlockStmt) {
+	before := append([]string(nil), w.held...)
+	w.block(b)
+	if terminates(b) {
+		w.held = before
+	}
+}
+
+func (w *lockWalker) caseBodies(b *ast.BlockStmt) {
+	for _, cc := range b.List {
+		if cc, ok := cc.(*ast.CaseClause); ok {
+			before := append([]string(nil), w.held...)
+			for _, bs := range cc.Body {
+				w.stmt(bs)
+			}
+			w.held = before
+		}
+	}
+}
+
+// terminates reports whether a block's last statement leaves the
+// enclosing function or loop.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expr walks an expression for calls, in source order, without
+// descending into function literals (they are independent roots).
+func (w *lockWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// Arguments and nested calls are visited by the ongoing
+			// inspection; handle this call's lock effects.
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// call applies one call's lock effects against the held set.
+func (w *lockWalker) call(call *ast.CallExpr) {
+	if name, op, ok := w.lo.mutexName(call); ok {
+		switch op {
+		case "Lock", "RLock":
+			w.checkAcquire(name, call.Pos(), "")
+			w.held = append(w.held, name)
+		case "Unlock", "RUnlock":
+			w.release(name)
+		}
+		return
+	}
+	var callees []*ast.BlockStmt
+	if fn := w.lo.resolveFunc(call.Fun); fn != nil {
+		if body, ok := w.lo.decls[fn]; ok {
+			callees = append(callees, body)
+		}
+	} else if bodies := w.lo.fieldCallees(call); bodies != nil {
+		callees = bodies
+	}
+	if len(w.held) == 0 && !w.sequential {
+		return
+	}
+	for _, callee := range callees {
+		for _, name := range sortedNames(w.lo.mayAcquire[callee]) {
+			if w.sequential && len(w.held) == 0 {
+				continue
+			}
+			w.checkAcquire(name, call.Pos(), " via "+calleeLabel(call))
+		}
+	}
+}
+
+func calleeLabel(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return "call to " + fun.Name
+	case *ast.SelectorExpr:
+		return "call to " + fun.Sel.Name
+	}
+	return "indirect call"
+}
+
+func sortedNames(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	// Deterministic reporting order: sflint's own output must honour
+	// the invariants it checks.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

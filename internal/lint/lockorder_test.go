@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestLockOrderFixture(t *testing.T) {
+	RunFixture(t, "lockorder", LockOrder)
+}

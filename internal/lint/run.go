@@ -1,0 +1,101 @@
+package lint
+
+import "fmt"
+
+// Result is one full sflint run: the surviving diagnostics plus any
+// suppression-hygiene errors. A run is clean only when both are
+// empty.
+type Result struct {
+	// Diagnostics are the findings left after //sflint:ignore
+	// suppression, in stable (file, line, column) order.
+	Diagnostics []Diagnostic
+	// IgnoreErrors are suppression-hygiene failures: stale ignores
+	// (directives that suppressed nothing). Unknown analyzer names
+	// and missing reasons fail earlier, at parse time.
+	IgnoreErrors []Diagnostic
+}
+
+// Clean reports whether the run found nothing.
+func (r *Result) Clean() bool {
+	return len(r.Diagnostics) == 0 && len(r.IgnoreErrors) == 0
+}
+
+// All returns diagnostics and ignore errors merged in stable order —
+// what the CLI prints and the JSON mode emits.
+func (r *Result) All() []Diagnostic {
+	out := append(append([]Diagnostic{}, r.Diagnostics...), r.IgnoreErrors...)
+	sortDiagnostics(out)
+	return out
+}
+
+// Run executes the analyzers over the packages and applies the
+// //sflint:ignore suppressions. Analyzer execution errors (not
+// findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Notes:    pkg.Notes,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	res := &Result{}
+	res.Diagnostics = applyIgnores(pkgs, diags)
+	for _, pkg := range pkgs {
+		for _, ig := range pkg.Notes.Ignores {
+			if !ig.Used {
+				res.IgnoreErrors = append(res.IgnoreErrors, Diagnostic{
+					Position: ig.Position,
+					Analyzer: "sflint",
+					Message: fmt.Sprintf("stale //sflint:ignore %s (%s): it suppresses nothing — delete it",
+						ig.Analyzer, ig.Reason),
+				})
+			}
+		}
+	}
+	sortDiagnostics(res.Diagnostics)
+	sortDiagnostics(res.IgnoreErrors)
+	return res, nil
+}
+
+// applyIgnores drops diagnostics covered by an //sflint:ignore for
+// the same analyzer on the same line or the line directly above, and
+// marks the directives used.
+func applyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := map[key][]*Ignore{}
+	for _, pkg := range pkgs {
+		for _, ig := range pkg.Notes.Ignores {
+			k := key{ig.Position.Filename, ig.Position.Line, ig.Analyzer}
+			index[k] = append(index[k], ig)
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+			for _, ig := range index[key{d.Position.Filename, line, d.Analyzer}] {
+				ig.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

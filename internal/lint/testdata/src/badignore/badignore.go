@@ -1,0 +1,6 @@
+// Package badignore names an analyzer that does not exist; loading it
+// must fail.
+package badignore
+
+//sflint:ignore nosuch a reason for a nonexistent analyzer
+func f() int { return 1 }

@@ -1,0 +1,115 @@
+// Package determinism is the fixture for the determinism analyzer:
+// forbidden wall-clock, environment, and global-rand calls, plus the
+// map-iteration classification, with the sanctioned patterns alongside.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func wallNow() time.Time {
+	return time.Now() // want `wall-clock read time\.Now`
+}
+
+func wallSince(t time.Time) time.Duration {
+	return time.Since(t) // want `wall-clock read time\.Since`
+}
+
+func wallUntil(t time.Time) time.Duration {
+	return time.Until(t) // want `wall-clock read time\.Until`
+}
+
+// sanctioned is on the nondeterministic side by annotation.
+//
+//sf:wallclock — fixture: progress/ops code
+func sanctioned() time.Time {
+	return time.Now()
+}
+
+func environment() string {
+	v, _ := os.LookupEnv("HOME") // want `environment read os\.LookupEnv`
+	return v + os.Getenv("PATH") // want `environment read os\.Getenv`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand call rand\.Intn`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(42)) // constructors are the sanctioned entry
+	return r.Intn(10)                 // methods on a local generator are fine
+}
+
+func mapReturn(m map[string]int) (string, int) {
+	for k, v := range m {
+		return k, v // want `map iteration order can reach a return value`
+	}
+	return "", 0
+}
+
+func mapCall(m map[string]int) {
+	for k := range m {
+		println(k) // want `map iteration order can reach a function call`
+	}
+}
+
+func mapOverwrite(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v // want `map iteration order can reach an unguarded overwrite`
+	}
+	return last
+}
+
+// mapSortedKeys is the sanctioned extraction pattern.
+func mapSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapAccumulate is commutative, hence order-insensitive.
+func mapAccumulate(m map[string]int) int {
+	total := 0
+	count := 0
+	for _, v := range m {
+		total += v
+		count++
+	}
+	return total + count
+}
+
+// mapMaxTrack: guarded overwrites are min/max tracking.
+func mapMaxTrack(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// mapInvert: map and slice index stores have set semantics.
+func mapInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// mapDelete: delete/copy/clear builtins are order-insensitive.
+func mapDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

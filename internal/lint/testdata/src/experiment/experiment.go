@@ -1,0 +1,27 @@
+// Package experiment is the codecreg fixture for wire-result
+// registration: exported *Result structs must be registered with
+// sweep.RegisterResult.
+package experiment
+
+import "sweep"
+
+// GoodResult is registered below.
+type GoodResult struct{ X int }
+
+// AlsoGoodResult is registered through a parenthesized instantiation.
+type AlsoGoodResult struct{ Y float64 }
+
+type ForgottenResult struct{ Z string } // want `exported wire result type ForgottenResult is not registered with sweep\.RegisterResult`
+
+// internalResult is unexported: it never crosses the wire.
+type internalResult struct{ w int }
+
+// AliasResult ends in "Result" but is not a struct: not a wire type.
+type AliasResult = int
+
+var (
+	_ = sweep.RegisterResult[GoodResult]("good")
+	_ = (sweep.RegisterResult[AlsoGoodResult])("also-good")
+)
+
+var _ = internalResult{}

@@ -1,0 +1,67 @@
+// Package families is the codecreg fixture for Family parameter
+// coverage: every declared Param must be read by Build, every read
+// must be declared, and passing the Values along disables the
+// unread-parameter half (coverage can no longer be proven).
+package families
+
+import "model"
+
+var covered = model.Family{
+	Name:   "covered",
+	Params: []model.Param{{Name: "n"}, {Name: "p"}, {Name: "loops"}},
+	Build: func(v model.Values) (*model.Graph, error) {
+		_ = v.Int("n")
+		_ = v["p"]
+		_ = v.Bool("loops")
+		return nil, nil
+	},
+}
+
+var unread = model.Family{
+	Name: "unread",
+	Params: []model.Param{
+		{Name: "n"},
+		{Name: "ghost"}, // want `family "unread" declares parameter "ghost" but its Build hook never reads it`
+	},
+	Build: func(v model.Values) (*model.Graph, error) {
+		_ = v.Int("n")
+		return nil, nil
+	},
+}
+
+var undeclared = model.Family{
+	Name:   "undeclared",
+	Params: []model.Param{{Name: "n"}},
+	Build: func(v model.Values) (*model.Graph, error) {
+		_ = v.Int("n")
+		_ = v.Bool("loops") // want `Build of family "undeclared" reads parameter "loops", which the family does not declare`
+		return nil, nil
+	},
+}
+
+func helper(v model.Values) {}
+
+// escaped passes its Values along: the declared-but-unread half is
+// disabled (no diagnostics for "alpha"), but a literal undeclared read
+// is still caught.
+var escaped = model.Family{
+	Name:   "escaped",
+	Params: []model.Param{{Name: "n"}, {Name: "alpha"}},
+	Build: func(v model.Values) (*model.Graph, error) {
+		helper(v)
+		return nil, nil
+	},
+}
+
+// positional Param literals also declare names.
+var positional = model.Family{
+	Name: "positional",
+	Params: []model.Param{
+		{"n", 1, 10},
+		{"phantom", 0, 1}, // want `family "positional" declares parameter "phantom" but its Build hook never reads it`
+	},
+	Build: func(v model.Values) (*model.Graph, error) {
+		_ = v.Int("n")
+		return nil, nil
+	},
+}

@@ -1,0 +1,107 @@
+// Package hotpath is the fixture for the hotpath analyzer: each
+// allocation source flagged, each sanctioned pattern allowed.
+package hotpath
+
+import "fmt"
+
+//sf:hotpath
+func closure() {
+	f := func() {} // want `closure allocation in //sf:hotpath closure`
+	f()
+}
+
+//sf:hotpath
+func fmtCall(x int) string {
+	return fmt.Sprint(x) // want `fmt\.Sprint call in //sf:hotpath fmtCall`
+}
+
+//sf:hotpath
+func nilSliceAppend() []int {
+	var s []int
+	for i := 0; i < 8; i++ {
+		s = append(s, i) // want `append to unpreallocated local slice s`
+	}
+	return s
+}
+
+//sf:hotpath
+func emptyLitAppend() []int {
+	s := []int{}
+	s = append(s, 1) // want `append to unpreallocated local slice s`
+	return s
+}
+
+//sf:hotpath
+func makeNoCapAppend() []int {
+	s := make([]int, 0)
+	s = append(s, 1) // want `append to local slice s made without capacity`
+	return s
+}
+
+//sf:hotpath
+func preallocated(n int) []int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	return s
+}
+
+// appendToParam: parameters are caller-preallocated by contract.
+//
+//sf:hotpath
+func appendToParam(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+type scratch struct{ buf []int }
+
+// fieldAppend: scratch-buffer fields amortize across calls.
+//
+//sf:hotpath
+func (s *scratch) fieldAppend(v int) {
+	s.buf = append(s.buf, v)
+}
+
+func take(v any) {}
+
+//sf:hotpath
+func boxArgument(x int) {
+	take(x) // want `interface boxing in //sf:hotpath boxArgument: argument passed as`
+}
+
+//sf:hotpath
+func boxReturn(x int) any {
+	return x // want `interface boxing in //sf:hotpath boxReturn: return value of`
+}
+
+//sf:hotpath
+func boxAssign(x int) any {
+	var v any
+	v = x // want `interface boxing in //sf:hotpath boxAssign: assignment to`
+	return v
+}
+
+//sf:hotpath
+func boxConversion(x int) {
+	_ = any(x) // want `interface boxing in //sf:hotpath boxConversion: conversion to`
+}
+
+// nilAndInterface: nil and interface-to-interface moves don't box.
+//
+//sf:hotpath
+func nilAndInterface(v any) any {
+	if v == nil {
+		return nil
+	}
+	return v
+}
+
+// notAnnotated allocates freely — only //sf:hotpath bodies are held to
+// the discipline.
+func notAnnotated() []int {
+	var s []int
+	s = append(s, 1)
+	_ = fmt.Sprint(s)
+	return s
+}

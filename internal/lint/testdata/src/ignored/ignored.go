@@ -1,0 +1,15 @@
+// Package ignored exercises //sflint:ignore suppression: every
+// directive here carries a reason and suppresses a real diagnostic, so
+// the run is clean.
+package ignored
+
+import "time"
+
+func sameLine() time.Time {
+	return time.Now() //sflint:ignore determinism fixture: suppression on the flagged line
+}
+
+func lineAbove() time.Time {
+	//sflint:ignore determinism fixture: suppression on the line above
+	return time.Now()
+}

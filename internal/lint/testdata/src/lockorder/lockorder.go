@@ -1,0 +1,137 @@
+// Package lockorder is the fixture for the lockorder analyzer: a
+// declared a.mu -> b.mu order, an unordered third lock, call-graph and
+// func-field propagation, and the //sf:locksequential discipline.
+package lockorder
+
+import "sync"
+
+//sf:lockorder a.mu b.mu
+
+type A struct {
+	mu sync.Mutex //sf:mutex a.mu
+}
+
+type B struct {
+	mu sync.Mutex //sf:mutex b.mu
+}
+
+type C struct {
+	mu sync.Mutex //sf:mutex c.mu
+}
+
+type S struct {
+	a  A
+	b  B
+	cb func()
+}
+
+// declaredOrder nests per the declaration: fine.
+func declaredOrder(s *S) {
+	s.a.mu.Lock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func inverted(s *S) {
+	s.b.mu.Lock()
+	s.a.mu.Lock() // want `a\.mu acquired while holding b\.mu, inverting the declared //sf:lockorder a\.mu b\.mu`
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+func selfDeadlock(s *S) {
+	s.a.mu.Lock()
+	s.a.mu.Lock() // want `a\.mu acquired while already held .*self-deadlock`
+	s.a.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func unorderedPair(s *S, c *C) {
+	s.a.mu.Lock()
+	c.mu.Lock() // want `c\.mu acquired while holding a\.mu with no declared //sf:lockorder between them`
+	c.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func lockA(s *S) {
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+}
+
+// invertedViaCall: the inversion happens inside the callee.
+func invertedViaCall(s *S) {
+	s.b.mu.Lock()
+	lockA(s) // want `a\.mu acquired via call to lockA while holding b\.mu, inverting the declared`
+	s.b.mu.Unlock()
+}
+
+// setCallback assigns a lock-taking closure to a func field; calling
+// the field under b.mu is an inversion the analyzer must see through
+// the indirection (the coordinator's onDrop shape).
+func setCallback(s *S) {
+	s.cb = func() {
+		s.a.mu.Lock()
+		s.a.mu.Unlock()
+	}
+}
+
+func fireUnderB(s *S) {
+	s.b.mu.Lock()
+	s.cb() // want `a\.mu acquired via call to cb while holding b\.mu, inverting the declared`
+	s.b.mu.Unlock()
+}
+
+// earlyExit: the unlock-and-return branch restores the held set for
+// the fallthrough path, so the later b.mu acquisition is correctly
+// seen as nested under a.mu (sanctioned by the declared order).
+func earlyExit(s *S, bad bool) {
+	s.a.mu.Lock()
+	if bad {
+		s.a.mu.Unlock()
+		return
+	}
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+// deferredUnlock holds a.mu to function end; nesting b.mu under it is
+// the declared order.
+func deferredUnlock(s *S) {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+// spawn: the goroutine's locks run concurrently, not nested.
+func spawn(s *S) {
+	s.b.mu.Lock()
+	go func() {
+		s.a.mu.Lock()
+		s.a.mu.Unlock()
+	}()
+	s.b.mu.Unlock()
+}
+
+// sequentialOK takes its locks strictly one at a time.
+//
+//sf:locksequential
+func sequentialOK(s *S) {
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+// sequentialBad nests even in the declared order — forbidden for a
+// locksequential function.
+//
+//sf:locksequential
+func sequentialBad(s *S) {
+	s.a.mu.Lock()
+	s.b.mu.Lock() // want `//sf:locksequential function acquires b\.mu while holding a\.mu`
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Package model stubs the real model registry for the codecreg
+// fixture: Family literals declare Params and a Build hook reading its
+// Values argument.
+package model
+
+type Values map[string]float64
+
+func (v Values) Int(name string) int   { return int(v[name]) }
+func (v Values) Bool(name string) bool { return v[name] != 0 }
+
+type Param struct {
+	Name     string
+	Min, Max float64
+}
+
+type Graph struct{}
+
+type Family struct {
+	Name   string
+	Params []Param
+	Build  func(v Values) (*Graph, error)
+}

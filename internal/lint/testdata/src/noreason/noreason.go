@@ -1,0 +1,6 @@
+// Package noreason omits the mandatory reason from an
+// //sflint:ignore; loading it must fail.
+package noreason
+
+//sflint:ignore determinism
+func f() int { return 1 }

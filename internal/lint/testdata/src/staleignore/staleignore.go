@@ -1,0 +1,6 @@
+// Package staleignore carries an //sflint:ignore that suppresses
+// nothing; the run must fail with a stale-ignore error.
+package staleignore
+
+//sflint:ignore determinism nothing here needs suppressing
+func clean() int { return 1 }

@@ -1,0 +1,6 @@
+// Package sweep stubs the real codec registry for the codecreg
+// fixture: the analyzer matches RegisterResult by package name and
+// function name, so this stand-in exercises the same paths.
+package sweep
+
+func RegisterResult[T any](name string) bool { return true }

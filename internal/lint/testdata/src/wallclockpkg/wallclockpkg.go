@@ -1,0 +1,14 @@
+// Package wallclockpkg is annotated nondeterministic-side as a whole:
+// nothing in it is checked by the determinism analyzer.
+//
+//sf:wallclock — fixture: the entire package is ops code
+package wallclockpkg
+
+import (
+	"os"
+	"time"
+)
+
+func anything() (time.Time, string) {
+	return time.Now(), os.Getenv("HOME")
+}

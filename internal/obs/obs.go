@@ -184,6 +184,8 @@ type Counter struct {
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n; negative n panics (counters only go up).
+//
+//sf:hotpath
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -218,6 +220,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adds n (negative allowed).
+//
+//sf:hotpath
 func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
@@ -274,6 +278,8 @@ func newHistogram(d desc, buckets []float64) *Histogram {
 }
 
 // Observe records one value. Nil-safe.
+//
+//sf:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -36,6 +36,7 @@ type slab[T any] struct {
 
 func (s *slab[T]) reset() { s.off = 0 }
 
+//sf:hotpath
 func (s *slab[T]) alloc(n int) []T {
 	if s.off+n > len(s.buf) {
 		c := 2 * len(s.buf)
@@ -55,6 +56,8 @@ func (s *slab[T]) alloc(n int) []T {
 }
 
 // allocOne hands out one zeroed T from the slab.
+//
+//sf:hotpath
 func (s *slab[T]) allocOne() *T {
 	return &s.alloc(1)[0]
 }

@@ -58,6 +58,8 @@ type Cache struct {
 // OpenCache opens (creating if needed) a result cache rooted at dir,
 // and sweeps out temp files old enough to be orphans of crashed
 // writers.
+//
+//sf:wallclock — the reap watermark is a real filesystem timestamp.
 func OpenCache(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, errors.New("sweep: empty cache directory")
@@ -102,6 +104,8 @@ func (c *Cache) path(key string) string {
 // Get looks a trial result up by content address. ok reports a hit;
 // malformed keys and missing, truncated, version-skewed, or
 // undecodable entries are misses.
+//
+//sf:wallclock — hit-recency touches use real mtimes for eviction.
 func (c *Cache) Get(key string) (v any, ok bool) {
 	if !validKey(key) {
 		mCacheMisses.Inc()

@@ -138,6 +138,8 @@ func DecodeResult(data []byte) (any, error) {
 
 // appendValue appends the deterministic encoding of v. v's type was
 // validated at registration, so unsupported kinds cannot occur.
+//
+//sf:hotpath
 func appendValue(buf []byte, v reflect.Value) []byte {
 	switch v.Kind() {
 	case reflect.Bool:
@@ -167,10 +169,12 @@ func appendValue(buf []byte, v reflect.Value) []byte {
 		}
 		return buf
 	default:
+		//sflint:ignore hotpath panic formatting on a registration-validated unreachable branch
 		panic(fmt.Sprintf("sweep: unvalidated kind %v reached the encoder", v.Kind()))
 	}
 }
 
+//sf:hotpath
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"sync"
 	"time"
 
@@ -194,6 +195,8 @@ func Coordinate(ctx context.Context, lis net.Listener, jobs []CoordJob, opts Coo
 // aborts immediately (the historical behaviour); otherwise it stops
 // lease issuance and waits — bounded by DrainTimeout — for every
 // in-flight lease to land or expire before recording the failure.
+//
+//sf:wallclock — the drain deadline is a real operational timeout.
 func (st *coordState) drainOrFail(cause error) {
 	if st.opts.Drain == nil && st.opts.DrainTimeout <= 0 {
 		st.fail(cause)
@@ -232,8 +235,16 @@ func (st *coordState) logf(format string, args ...any) {
 }
 
 // coordState is the shared state of one Coordinate call.
+//
+// Lock discipline: st.mu may be held while acquiring leases.mu
+// (failChunk holds st.mu and calls leases.RequeueAvoiding), so the
+// lease table must never call back into coordState under its own lock
+// — onDrop fires under leases.mu and touches only metrics and the
+// event log. The lockorder analyzer enforces the declared order below.
+//
+//sf:lockorder st.mu leases.mu
 type coordState struct {
-	mu        sync.Mutex
+	mu        sync.Mutex //sf:mutex st.mu
 	jobs      []CoordJob
 	byExp     map[string]int   // ExpID -> job index
 	results   []map[int]any    // per job: trial index -> decoded value
@@ -404,8 +415,13 @@ func (st *coordState) chunkCoveredLocked(c chunk) bool {
 func (st *coordState) closeConns() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	for _, c := range st.conns {
-		c.Close()
+	ids := make([]uint64, 0, len(st.conns))
+	for id := range st.conns {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		st.conns[id].Close()
 	}
 }
 
@@ -413,6 +429,8 @@ func (st *coordState) closeConns() {
 // protocol is violated. Any lease the connection still holds when it
 // goes away is revoked immediately — a visible disconnect reassigns
 // faster than waiting out the TTL.
+//
+//sf:wallclock — lease grant/deadline bookkeeping uses real time.
 func (st *coordState) handle(conn net.Conn) {
 	// Per-message deadline: a worker that stops making protocol
 	// progress for this long (default two lease TTLs) is

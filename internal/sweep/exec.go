@@ -54,6 +54,8 @@ func (s Stats) String() string {
 //
 // newScratch and fn follow engine.RunScratch's contract; fn's result
 // must be a registered codec type whenever cache is non-nil.
+//
+//sf:wallclock — per-trial timing feeds the metrics registry only.
 func Execute[S any](
 	ctx context.Context,
 	job Job,

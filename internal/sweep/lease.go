@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"slices"
 	"sync"
 	"time"
 )
@@ -32,7 +33,7 @@ type lease struct {
 // concurrent use by connection handlers; time is injectable so expiry
 // logic is unit-testable without sleeping.
 type leaseTable struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //sf:mutex leases.mu
 	pending []chunk
 	active  map[uint64]*lease
 	nextID  uint64
@@ -118,13 +119,22 @@ func (lt *leaseTable) Acquire(worker string, connID uint64) (lease, bool) {
 // pending queue. Called with mu held.
 func (lt *leaseTable) reclaimExpiredLocked() {
 	now := lt.now()
+	// Reclaim in lease-ID order so the requeued chunk order (and the
+	// onDrop event stream) is a function of grant order, not of map
+	// iteration order.
+	var expired []uint64
 	for id, l := range lt.active {
 		if now.After(l.Deadline) {
-			lt.pending = append(lt.pending, l.Chunk)
-			delete(lt.active, id)
-			if lt.onDrop != nil {
-				lt.onDrop(*l, "steal")
-			}
+			expired = append(expired, id)
+		}
+	}
+	slices.Sort(expired)
+	for _, id := range expired {
+		l := lt.active[id]
+		lt.pending = append(lt.pending, l.Chunk)
+		delete(lt.active, id)
+		if lt.onDrop != nil {
+			lt.onDrop(*l, "steal")
 		}
 	}
 }
@@ -205,18 +215,22 @@ func (lt *leaseTable) RequeueAvoiding(c chunk, worker string) {
 func (lt *leaseTable) RevokeConn(connID uint64) int {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
-	n := 0
+	var revoked []uint64
 	for id, l := range lt.active {
 		if l.ConnID == connID {
-			lt.pending = append(lt.pending, l.Chunk)
-			delete(lt.active, id)
-			if lt.onDrop != nil {
-				lt.onDrop(*l, "revoke")
-			}
-			n++
+			revoked = append(revoked, id)
 		}
 	}
-	return n
+	slices.Sort(revoked)
+	for _, id := range revoked {
+		l := lt.active[id]
+		lt.pending = append(lt.pending, l.Chunk)
+		delete(lt.active, id)
+		if lt.onDrop != nil {
+			lt.onDrop(*l, "revoke")
+		}
+	}
+	return len(revoked)
 }
 
 // Counts reports the pending-chunk and active-lease totals — the

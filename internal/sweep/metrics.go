@@ -79,7 +79,7 @@ var (
 // safe to call from any goroutine at any time, including before the
 // sweep starts (it reports zeros) and after it ends.
 type CoordObserver struct {
-	mu sync.Mutex
+	mu sync.Mutex //sf:mutex observer.mu
 	st *coordState
 }
 
@@ -113,7 +113,12 @@ type CoordSnapshot struct {
 }
 
 // Snapshot reads the coordinator's current state. Before Coordinate
-// attaches the observer it returns the zero snapshot.
+// attaches the observer it returns the zero snapshot. It takes
+// observer.mu, st.mu, and leases.mu strictly one at a time — never
+// nested — so it can run from any ops goroutine without joining the
+// coordinator's lock order.
+//
+//sf:locksequential
 func (o *CoordObserver) Snapshot() CoordSnapshot {
 	o.mu.Lock()
 	st := o.st

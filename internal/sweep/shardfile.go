@@ -42,12 +42,16 @@ func WriteShardFile(path string, h ShardHeader, results map[int]any) error {
 	}
 	idxs := make([]int, 0, len(results))
 	for i := range results {
-		if i < 0 || i >= h.TotalTrials {
-			return fmt.Errorf("sweep: shard entry index %d outside plan of %d trials", i, h.TotalTrials)
-		}
 		idxs = append(idxs, i)
 	}
 	sort.Ints(idxs)
+	// Validate after sorting so the reported index is the smallest
+	// offender, not whichever one map iteration yields first.
+	for _, i := range idxs {
+		if i < 0 || i >= h.TotalTrials {
+			return fmt.Errorf("sweep: shard entry index %d outside plan of %d trials", i, h.TotalTrials)
+		}
+	}
 
 	buf := []byte(shardMagic)
 	buf = binary.AppendUvarint(buf, CodecVersion)
@@ -168,11 +172,16 @@ func Merge(paths []string) (ShardHeader, []any, error) {
 				h.ShardIndex+1, h.ShardCount, prev, path)
 		}
 		seen[h.ShardIndex] = path
-		for idx, v := range entries {
+		merged := make([]int, 0, len(entries))
+		for idx := range entries {
+			merged = append(merged, idx)
+		}
+		sort.Ints(merged)
+		for _, idx := range merged {
 			if results[idx] != nil {
 				return ShardHeader{}, nil, fmt.Errorf("sweep: trial %d present in more than one shard file", idx)
 			}
-			results[idx] = v
+			results[idx] = entries[idx]
 			filled++
 		}
 	}

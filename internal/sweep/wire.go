@@ -95,12 +95,15 @@ func newWireConn(conn net.Conn, ioTimeout time.Duration) *wireConn {
 // armWrite/armRead push the deadline forward before an operation; each
 // message restarts the clock, so only a genuinely stalled peer trips
 // it.
+//
+//sf:wallclock — connection deadlines are inherently wall-clock.
 func (c *wireConn) armWrite() {
 	if c.timeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	}
 }
 
+//sf:wallclock — connection deadlines are inherently wall-clock.
 func (c *wireConn) armRead() {
 	if c.timeout > 0 {
 		c.conn.SetReadDeadline(time.Now().Add(c.timeout))

@@ -104,6 +104,8 @@ const (
 // failures so the host shows up unhealthy; a resolver error (plan
 // mismatch — this worker cannot run the sweep at all) is reported as
 // REFUSE, which aborts the sweep immediately on both sides.
+//
+//sf:wallclock — heartbeat pacing and reconnect backoff use real time.
 func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts WorkerOptions) (Stats, error) {
 	var stats Stats
 	name := opts.Name
