@@ -23,6 +23,7 @@ import (
 	"scalefree/internal/model"
 	"scalefree/internal/mori"
 	"scalefree/internal/obs"
+	"scalefree/internal/obs/trace"
 	"scalefree/internal/rng"
 	"scalefree/internal/sweep"
 	"scalefree/internal/weights"
@@ -162,6 +163,53 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 				if _, err := engine.Run(context.Background(), trials, engine.Options{Workers: 4}, v.fn); err != nil {
 					b.Fatal(err)
 				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(trials)), "ns/trial")
+		})
+	}
+}
+
+// BenchmarkTraceOverhead prices the tracing layer (DESIGN.md §11) the
+// same way BenchmarkMetricsOverhead prices metrics: the identical
+// no-op trial loop, bare versus running under a live trace.Recorder.
+// Each traced trial records one span — two clock reads and two
+// appends into the worker's preallocated buffer, no locks, no
+// allocations — so the tax must land in the same order as the metrics
+// instrumentation (the acceptance bound is ~2× of that pair's delta,
+// i.e. a few hundred ns/trial on no-op trials, invisible on real
+// millisecond trials). Identical allocs/op between the two variants is
+// the hard assertion; compare the ns/trial columns for the absolute
+// tax. Reset between iterations keeps the recorder's spill buffer at
+// steady-state capacity, so the traced variant measures recording, not
+// buffer growth.
+func BenchmarkTraceOverhead(b *testing.B) {
+	trials := make([]engine.Trial, 1024)
+	for i := range trials {
+		trials[i] = engine.Trial{Index: i, Key: "noop", Seed: rng.DeriveSeed(1, uint64(i))}
+	}
+	noop := func(_ context.Context, t engine.Trial, r *rng.RNG) (uint64, error) {
+		return r.Uint64(), nil
+	}
+	for _, v := range []struct {
+		name string
+		rec  *trace.Recorder
+	}{
+		{"bare", nil},
+		{"traced", trace.New()},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			opts := engine.Options{Workers: 4, Trace: v.rec}
+			if _, err := engine.Run(context.Background(), trials, opts, noop); err != nil {
+				b.Fatal(err) // warm the writer pool and spill capacity
+			}
+			v.rec.Reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(context.Background(), trials, opts, noop); err != nil {
+					b.Fatal(err)
+				}
+				v.rec.Reset() // nil-safe no-op on the bare variant
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(trials)), "ns/trial")
 		})

@@ -10,7 +10,9 @@
 //	                             [-out dir [-drain-timeout d]] [-chaos seed]]
 //	            [-worker addr [-auth-key k] [-dial-retries n]]
 //	            [-cache-gc fingerprint]
-//	            [-status-addr addr [-pprof]] [-events file] [-dump-metrics]
+//	            [-status-addr addr [-pprof]] [-dump-metrics]
+//	            [-events file [-events-max-bytes n]]
+//	            [-trace file [-trace-bfs k]]
 //
 // -scale shrinks workload sizes and replication counts proportionally
 // (0.1 gives a quick smoke run); -workers bounds the trial worker pool
@@ -65,10 +67,24 @@
 // view), /healthz, and with -pprof the net/http/pprof profiles.
 // -events file appends one JSON line per sweep lifecycle event (worker
 // join/leave, lease grant/steal/revoke/complete, chunk fail/retry,
-// injected faults, drain, cache GC/eviction). -dump-metrics prints the
-// full metrics exposition to stderr at exit. All of it is strictly
-// observational: rendered tables stay byte-identical with every
-// observability flag enabled.
+// injected faults, drain, cache GC/eviction); -events-max-bytes rotates
+// the file (events.jsonl -> events.1.jsonl, ...) when it would exceed
+// the limit, with sequence numbers monotonic across rotations.
+// -dump-metrics prints the full metrics exposition to stderr at exit.
+//
+// Tracing (DESIGN.md §11): -trace file writes a Chrome trace-event JSON
+// timeline (open in Perfetto or chrome://tracing) of the whole sweep —
+// per-trial spans with generate/freeze/search phases in a local run; in
+// a coordinated run the lease lifecycle, steals, retries, and every
+// worker's merged trial spans, propagated back over the wire, in one
+// file. -trace belongs on the process that owns the timeline (a plain
+// run or the coordinator; workers are enabled remotely via the lease
+// protocol). -trace-bfs k additionally records every k-th BFS frontier
+// level inside search phases — on a worker process set it directly,
+// since the wire carries no sampling config. Analyze the file with
+// `sweeptrace` (critical path, per-worker utilization, slowest trials).
+// All of it is strictly observational: rendered tables stay
+// byte-identical with every observability flag enabled.
 //
 // Tables go to stdout; all status goes to stderr, so single-process,
 // merged, and coordinated outputs diff cleanly.
@@ -91,6 +107,7 @@ import (
 	"scalefree/internal/experiment"
 	"scalefree/internal/faultnet"
 	"scalefree/internal/obs"
+	"scalefree/internal/obs/trace"
 	"scalefree/internal/sweep"
 )
 
@@ -100,6 +117,11 @@ import (
 // log.
 var mFaultsInjected = obs.Default().CounterVec("scalefree_faultnet_injected_total",
 	"Faults injected by the -chaos wrapper, by operation.", "op")
+
+// buildInfo registers the binary's identity as the constant metric
+// scalefree_build_info and feeds the /status payloads — the fleet-wide
+// answer to "which revision is this process actually running?".
+var buildInfo = obs.RegisterBuildInfo(obs.Default())
 
 func main() {
 	if err := run(); err != nil {
@@ -135,10 +157,13 @@ type options struct {
 	cacheMaxBytes int64
 	chaos         uint64
 
-	statusAddr  string
-	pprofOn     bool
-	eventsPath  string
-	dumpMetrics bool
+	statusAddr     string
+	pprofOn        bool
+	eventsPath     string
+	eventsMaxBytes int64
+	dumpMetrics    bool
+	tracePath      string
+	traceBFS       int
 
 	// set records which flags were explicitly given, for rejecting
 	// explicit-but-meaningless combinations whose zero values are
@@ -293,8 +318,33 @@ func (o *options) validate() error {
 			return fmt.Errorf("-events records sweep lifecycle events; it requires -coordinate, -worker, or -cache-gc")
 		}
 	}
+	if o.isSet("events-max-bytes") {
+		switch {
+		case o.eventsPath == "":
+			return fmt.Errorf("-events-max-bytes rotates the -events file; it requires -events")
+		case o.eventsMaxBytes <= 0:
+			return fmt.Errorf("-events-max-bytes must be positive")
+		}
+	}
 	if o.dumpMetrics && o.mode() == "merge" {
 		return fmt.Errorf("-dump-metrics snapshots execution metrics; -merge only reads shard files")
+	}
+	// Tracing: the trace file belongs to the process that owns the sweep
+	// timeline — a plain run, or the coordinator (which merges every
+	// worker's spans off the wire). Workers are traced remotely: the
+	// lease protocol enables their recorders, and their spans ship back
+	// on COMPLETE — except BFS level sampling, which the wire does not
+	// carry, so -trace-bfs is also a direct worker knob.
+	if o.tracePath != "" && o.mode() != "run" && o.mode() != "coordinate" {
+		return fmt.Errorf("-trace writes the sweep timeline from a plain run or a coordinator; workers are traced through the lease protocol")
+	}
+	if o.isSet("trace-bfs") {
+		switch {
+		case o.traceBFS < 0:
+			return fmt.Errorf("-trace-bfs must be >= 0 (0 disables BFS level spans)")
+		case o.tracePath == "" && o.mode() != "worker":
+			return fmt.Errorf("-trace-bfs samples BFS levels into a trace; it requires -trace (or -worker, whose trace ships to the coordinator)")
+		}
 	}
 	if o.isSet("cache-max-bytes") {
 		switch {
@@ -336,7 +386,10 @@ func parseOptions(args []string) (*options, error) {
 	fs.StringVar(&o.statusAddr, "status-addr", "", "with -coordinate or -worker: serve the HTTP ops plane (/metrics, /status, /healthz) on this address")
 	fs.BoolVar(&o.pprofOn, "pprof", false, "with -status-addr: also mount net/http/pprof under /debug/pprof/")
 	fs.StringVar(&o.eventsPath, "events", "", "write one JSON line per sweep lifecycle event to this file")
+	fs.Int64Var(&o.eventsMaxBytes, "events-max-bytes", 0, "with -events: rotate the event log when it would exceed this many bytes (events.jsonl -> events.1.jsonl, ...)")
 	fs.BoolVar(&o.dumpMetrics, "dump-metrics", false, "print the Prometheus text exposition of all metrics to stderr at exit")
+	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event JSON timeline of the sweep to this file (open in Perfetto; analyze with sweeptrace)")
+	fs.IntVar(&o.traceBFS, "trace-bfs", 0, "with -trace (or -worker): record every k-th BFS frontier level as a span inside search phases (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -389,7 +442,7 @@ func run() error {
 	// both are nil-safe no-ops when their flags are absent.
 	var events *obs.EventLog
 	if o.eventsPath != "" {
-		if events, err = obs.OpenEventLog(o.eventsPath); err != nil {
+		if events, err = obs.OpenEventLogRotating(o.eventsPath, o.eventsMaxBytes); err != nil {
 			return err
 		}
 	}
@@ -411,7 +464,7 @@ func run() error {
 		case "cache-gc":
 			return runCacheGC(cache, o.cacheGC, events)
 		default:
-			return runAll(ctx, selected, cfg, o.workers, o.progress, cache, o.csvDir)
+			return runAll(ctx, selected, cfg, o, cache)
 		}
 	}()
 
@@ -455,30 +508,69 @@ func progressHook(tracker *engine.RateTracker) func(engine.Progress) {
 	}
 }
 
+// newRecorder builds the sweep's trace recorder when -trace is set
+// (nil otherwise — every recorder method is nil-safe) and opens the
+// root "sweep" span on the control lane.
+func newRecorder(o *options, procName string) *trace.Recorder {
+	if o.tracePath == "" {
+		return nil
+	}
+	rec := trace.New()
+	rec.ProcName = procName
+	rec.BFSSample = o.traceBFS
+	rec.Emit(trace.Record{Ph: 'B', Name: "sweep", Cat: "sweep"})
+	return rec
+}
+
+// writeTrace closes the root span and writes the Chrome trace-event
+// JSON file. Nil-safe: a nil recorder writes nothing.
+func writeTrace(rec *trace.Recorder, path string) error {
+	if rec == nil {
+		return nil
+	}
+	rec.Emit(trace.Record{Ph: 'E'})
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing trace file: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %s (open in Perfetto, or run: sweeptrace %s)\n", path, path)
+	return nil
+}
+
 // runAll is the classic mode: execute every selected experiment in
 // this process (optionally through the result cache) and print tables.
 //
 //sf:wallclock — wraps deterministic runs with elapsed-time reporting.
-func runAll(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, workers int, progress bool, cache *sweep.Cache, csvDir string) error {
+func runAll(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, cache *sweep.Cache) error {
+	rec := newRecorder(o, "sweep")
 	for _, e := range selected {
 		fmt.Fprintf(os.Stderr, "=== %s: %s (scale %.2f, seed %d, workers %d)\n",
-			e.ID, e.Title, cfg.Scale, cfg.Seed, workers)
-		opts := engine.Options{Workers: workers}
-		if progress {
+			e.ID, e.Title, cfg.Scale, cfg.Seed, o.workers)
+		opts := engine.Options{Workers: o.workers, Trace: rec}
+		if o.progress {
 			opts.Progress = progressHook(engine.NewRateTracker(0))
 		}
+		rec.Emit(trace.Record{Ph: 'B', Name: "experiment " + e.ID, Cat: "sweep"})
 		start := time.Now()
 		tables, stats, err := e.RunCached(ctx, cfg, opts, cache)
+		rec.Emit(trace.Record{Ph: 'E'})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "    completed in %v (%s)\n\n",
 			time.Since(start).Round(time.Millisecond), stats)
-		if err := emit(e, tables, csvDir); err != nil {
+		if err := emit(e, tables, o.csvDir); err != nil {
 			return err
 		}
 	}
-	return nil
+	return writeTrace(rec, o.tracePath)
 }
 
 // runShards executes one shard of every selected experiment, writing
@@ -529,6 +621,7 @@ type coordStatus struct {
 	ETA           string               `json:"eta,omitempty"`
 	Workers       []engine.SourceCount `json:"workers"`
 	ChaosInjected int64                `json:"chaos_injected,omitempty"`
+	Build         obs.BuildInfo        `json:"build"`
 }
 
 // runCoordinator serves the selected experiments' trials to -worker
@@ -574,6 +667,7 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 		fmt.Fprintf(os.Stderr, "chaos: injecting scripted faults on every accepted connection (seed %d)\n", o.chaos)
 	}
 
+	rec := newRecorder(o, "coordinator")
 	observer := &sweep.CoordObserver{}
 	copts := sweep.CoordOptions{
 		ChunkSize: o.chunk,
@@ -582,6 +676,7 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 		Log:       logf,
 		Events:    events,
 		Observer:  observer,
+		Trace:     rec,
 	}
 	if o.out != "" {
 		if err := os.MkdirAll(o.out, 0o755); err != nil {
@@ -624,6 +719,7 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 				Sweep:       observer.Snapshot(),
 				Total:       total,
 				Workers:     []engine.SourceCount{},
+				Build:       buildInfo,
 			}
 			if agg != nil {
 				snap, workers := agg.SnapshotSorted()
@@ -672,7 +768,7 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 			return err
 		}
 	}
-	return nil
+	return writeTrace(rec, o.tracePath)
 }
 
 // runWorker joins a coordinator and executes leased chunks until the
@@ -680,7 +776,15 @@ func runCoordinator(ctx context.Context, selected []experiment.Experiment, cfg e
 //
 //sf:wallclock — fleet orchestration; timing is operational output.
 func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experiment.Config, o *options, cache *sweep.Cache, events *obs.EventLog) error {
-	eopts := engine.Options{Workers: o.workers}
+	// The worker always carries a recorder, but disabled: the lease
+	// protocol switches it on when the coordinator is tracing, and the
+	// worker's spans ship back on COMPLETE lines — no local trace file,
+	// no worker-side tracing flag. -trace-bfs is the one local knob,
+	// since the wire carries no sampling config.
+	rec := trace.New()
+	rec.SetEnabled(false)
+	rec.BFSSample = o.traceBFS
+	eopts := engine.Options{Workers: o.workers, Trace: rec}
 	if o.progress {
 		eopts.Progress = progressHook(engine.NewRateTracker(0))
 	}
@@ -690,6 +794,7 @@ func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experi
 		AuthKey:     o.authKey,
 		DialRetries: o.dialRetries,
 		Events:      events,
+		Trace:       rec,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 		},
@@ -703,6 +808,7 @@ func runWorker(ctx context.Context, selected []experiment.Experiment, cfg experi
 				"seed":        cfg.Seed,
 				"scale":       cfg.Scale,
 				"workers":     o.workers,
+				"build":       buildInfo,
 			}
 		}
 		srv, err := obs.StartOps(o.statusAddr, obs.NewOpsHandler(obs.Default(), status, o.pprofOn))

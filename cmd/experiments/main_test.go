@@ -85,6 +85,18 @@ func TestFlagValidation(t *testing.T) {
 		{"events on merge", []string{"-merge", "d", "-events", "f"}, "-coordinate, -worker, or -cache-gc"},
 		{"events on shard", []string{"-shard", "1/2", "-out", "d", "-events", "f"}, "-coordinate, -worker, or -cache-gc"},
 		{"dump-metrics on merge", []string{"-merge", "d", "-dump-metrics"}, "-dump-metrics"},
+		{"events-max-bytes without events", []string{"-coordinate", ":0", "-events-max-bytes", "1024"}, "-events"},
+		{"zero events-max-bytes", []string{"-coordinate", ":0", "-events", "f", "-events-max-bytes", "0"}, "positive"},
+
+		// Tracing: the trace file belongs to a plain run or the
+		// coordinator; workers are enabled over the wire.
+		{"trace on worker", []string{"-worker", ":0", "-trace", "t.json"}, "-trace"},
+		{"trace on merge", []string{"-merge", "d", "-trace", "t.json"}, "-trace"},
+		{"trace on shard", []string{"-shard", "1/2", "-out", "d", "-trace", "t.json"}, "-trace"},
+		{"trace on cache-gc", []string{"-cache-gc", "abc", "-cache", "c", "-trace", "t.json"}, "-trace"},
+		{"trace-bfs without trace", []string{"-trace-bfs", "4"}, "-trace"},
+		{"trace-bfs on coordinator without trace", []string{"-coordinate", ":0", "-trace-bfs", "4"}, "-trace"},
+		{"negative trace-bfs", []string{"-trace", "t.json", "-trace-bfs", "-1"}, ">= 0"},
 	}
 	for _, tc := range reject {
 		t.Run(tc.name, func(t *testing.T) {
@@ -115,6 +127,10 @@ func TestFlagValidation(t *testing.T) {
 		{"-worker", "host:9131", "-status-addr", ":9201", "-events", "f", "-dump-metrics"},
 		{"-cache-gc", "abc123", "-cache", "c", "-events", "f", "-dump-metrics"},
 		{"-run", "E4", "-dump-metrics"},
+		{"-run", "E4", "-trace", "t.json", "-trace-bfs", "4"},
+		{"-coordinate", ":9131", "-trace", "t.json"},
+		{"-worker", "host:9131", "-trace-bfs", "8"},
+		{"-coordinate", ":9131", "-events", "f", "-events-max-bytes", "1048576"},
 	}
 	for _, args := range accept {
 		if _, err := parseOptions(args); err != nil {

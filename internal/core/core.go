@@ -25,6 +25,7 @@ import (
 	"scalefree/internal/graph"
 	"scalefree/internal/model"
 	"scalefree/internal/mori"
+	"scalefree/internal/obs/trace"
 	"scalefree/internal/rng"
 	"scalefree/internal/search"
 	"scalefree/internal/stats"
@@ -64,6 +65,20 @@ type Scratch struct {
 	Degs []int
 
 	genRNG, searchRNG rng.RNG
+
+	// tw is the attached trace writer (nil when untraced); phase spans
+	// in MeasureOneScratch record into it. See AttachTrace.
+	tw *trace.Writer
+}
+
+// AttachTrace implements trace.Attacher: the engine hands each worker
+// goroutine's trace writer to its scratch, so trial phases
+// (generate/freeze/search) and sampled BFS levels record into the
+// worker's lane. A nil writer detaches.
+func (s *Scratch) AttachTrace(w *trace.Writer) {
+	s.tw = w
+	s.Par.Trace = w
+	s.Par.TraceSample = w.SampleEvery()
 }
 
 // NewScratch returns an empty scratch; buffers grow on first use and
@@ -210,15 +225,19 @@ func MeasureOneScratch(gen GraphGen, spec SearchSpec, rep int, s *Scratch) (Sear
 		return SearchOutcome{}, fmt.Errorf("core: SearchSpec.Algorithm is nil")
 	}
 	var gr, sr *rng.RNG
+	var tw *trace.Writer
 	if s != nil {
 		gr, sr = &s.genRNG, &s.searchRNG
 		gr.Reseed(rng.DeriveSeed(spec.Seed, uint64(3*rep)))
 		sr.Reseed(rng.DeriveSeed(spec.Seed, uint64(3*rep+1)))
+		tw = s.tw
 	} else {
 		gr = rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep)))
 		sr = rng.New(rng.DeriveSeed(spec.Seed, uint64(3*rep+1)))
 	}
+	tw.Begin("generate", "phase")
 	g, err := gen(gr, s)
+	tw.End()
 	if err != nil {
 		return SearchOutcome{}, fmt.Errorf("core: generating graph for rep %d: %w", rep, err)
 	}
@@ -248,12 +267,16 @@ func MeasureOneScratch(gen GraphGen, spec SearchSpec, rep int, s *Scratch) (Sear
 	if s != nil {
 		oracleScratch = &s.Search
 	}
+	tw.Begin("freeze", "phase")
 	o, err := search.NewOracleShuffledScratch(g, start, target, spec.Algorithm.Knowledge(),
 		rng.DeriveSeed(spec.Seed, uint64(3*rep+2)), oracleScratch)
+	tw.End()
 	if err != nil {
 		return SearchOutcome{}, fmt.Errorf("core: rep %d: %w", rep, err)
 	}
+	tw.Begin("search", "phase")
 	res, err := spec.Algorithm.Search(o, sr, spec.Budget)
+	tw.End()
 	if err != nil {
 		return SearchOutcome{}, fmt.Errorf("core: rep %d: %w", rep, err)
 	}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scalefree/internal/obs/trace"
 	"scalefree/internal/rng"
 )
 
@@ -66,6 +67,11 @@ type Options struct {
 	// Progress, if non-nil, is invoked after every trial completes.
 	// Calls are serialized under a lock; keep the callback fast.
 	Progress func(Progress)
+	// Trace, if non-nil, records a span per trial into a per-worker
+	// trace writer. Scratch values implementing trace.Attacher receive
+	// the worker's writer so trial phases can record child spans.
+	// Tracing observes the run; results are unaffected.
+	Trace *trace.Recorder
 }
 
 func (o Options) effectiveWorkers(trials int) int {
@@ -133,6 +139,14 @@ func RunScratch[T, S any](ctx context.Context, trials []Trial, opts Options, new
 		go func() {
 			defer wg.Done()
 			scratch := newScratch()
+			var tw *trace.Writer
+			if opts.Trace != nil {
+				tw = opts.Trace.Writer()
+				defer opts.Trace.Release(tw)
+				if a, ok := any(scratch).(trace.Attacher); ok {
+					a.AttachTrace(tw)
+				}
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(trials) {
@@ -143,7 +157,9 @@ func RunScratch[T, S any](ctx context.Context, trials []Trial, opts Options, new
 					// and skipped trials must not masquerade as failures.
 					continue
 				}
+				tw.Begin(trials[i].Key, "trial")
 				res, elapsed, err := timedTrial(ctx, trials[i], scratch, fn)
+				tw.End()
 				if err != nil {
 					errs[i] = err
 					cancel()

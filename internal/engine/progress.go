@@ -71,20 +71,27 @@ type RateSnapshot struct {
 	// trailing window (falling back to the whole-run average while the
 	// window holds fewer than two samples). Zero means unknown.
 	Rate float64
-	// ETA estimates the time to finish the remaining trials at Rate.
-	// Zero means unknown (no throughput signal yet) or already done.
+	// ETA estimates the time to finish the remaining trials — computed
+	// only from the windowed rate, never the whole-run fallback. Zero
+	// means unknown (no current-throughput signal: fewer than two
+	// completions in the window) or already done; String renders the
+	// unknown-with-work-remaining case as "ETA ∞".
 	ETA time.Duration
 }
 
 // String renders the snapshot for progress lines, e.g.
-// "12.3 trials/s, ETA 1m40s".
+// "12.3 trials/s, ETA 1m40s" — or "ETA ∞" when trials remain but the
+// window holds no throughput signal to estimate from.
 func (s RateSnapshot) String() string {
 	if s.Rate <= 0 {
 		return "rate n/a"
 	}
 	out := fmt.Sprintf("%.1f trials/s", s.Rate)
-	if s.ETA > 0 {
+	switch {
+	case s.ETA > 0:
 		out += fmt.Sprintf(", ETA %s", s.ETA.Round(time.Second))
+	case s.Done < s.Total:
+		out += ", ETA ∞"
 	}
 	return out
 }
@@ -107,11 +114,16 @@ func (rt *RateTracker) Snapshot() RateSnapshot {
 		if span > 0 {
 			snap.Rate = float64(len(rt.times)-1) / span.Seconds()
 		}
+		if remaining := rt.total - rt.done; remaining > 0 && snap.Rate > 0 {
+			snap.ETA = time.Duration(float64(remaining) / snap.Rate * float64(time.Second))
+		}
 	case rt.done > 0 && now.After(rt.start):
+		// Whole-run fallback: a rough rate is still worth showing, but
+		// no ETA comes from it — after a stall long enough to empty the
+		// window, the whole-run average says nothing about current
+		// throughput, and an ETA extrapolated from it is garbage. The
+		// ETA stays zero (rendered as ∞) until the window refills.
 		snap.Rate = float64(rt.done) / now.Sub(rt.start).Seconds()
-	}
-	if remaining := rt.total - rt.done; remaining > 0 && snap.Rate > 0 {
-		snap.ETA = time.Duration(float64(remaining) / snap.Rate * float64(time.Second))
 	}
 	return snap
 }

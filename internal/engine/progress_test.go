@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -109,6 +110,58 @@ func TestRateTrackerEmptyAndDone(t *testing.T) {
 	}
 	if snap.Rate <= 0 {
 		t.Errorf("single completion gives no whole-run rate: %+v", snap)
+	}
+}
+
+// TestRateTrackerETAUnknownWithoutWindow pins the ETA fix: the
+// whole-run fallback rate (fewer than two completions in the window)
+// must not feed the ETA. A burst followed by a stall long enough to
+// empty the window used to extrapolate a garbage ETA from the stale
+// whole-run average; now the ETA is unknown (zero) and String renders
+// it as "ETA ∞" until the window refills.
+func TestRateTrackerETAUnknownWithoutWindow(t *testing.T) {
+	// One completion: whole-run rate exists, ETA must not.
+	rt, clock := newTestTracker(10 * time.Second)
+	clock.advance(time.Second)
+	rt.Observe(Progress{Done: 1, Total: 100})
+	clock.advance(time.Second)
+	snap := rt.Snapshot()
+	if snap.Rate <= 0 {
+		t.Fatalf("single completion gives no whole-run rate: %+v", snap)
+	}
+	if snap.ETA != 0 {
+		t.Errorf("ETA from the whole-run fallback = %v, want 0 (unknown)", snap.ETA)
+	}
+	if got := snap.String(); !strings.Contains(got, "ETA ∞") {
+		t.Errorf("String() = %q, want an ETA ∞ marker", got)
+	}
+
+	// Burst then stall: the window empties, so the ETA must drop back
+	// to unknown instead of extrapolating the stale whole-run average.
+	rt, clock = newTestTracker(10 * time.Second)
+	for done := 1; done <= 20; done++ {
+		clock.advance(100 * time.Millisecond)
+		rt.Observe(Progress{Done: done, Total: 100})
+	}
+	if eta := rt.Snapshot().ETA; eta <= 0 {
+		t.Fatalf("windowed ETA missing right after the burst: %v", eta)
+	}
+	clock.advance(time.Minute)
+	snap = rt.Snapshot()
+	if snap.ETA != 0 {
+		t.Errorf("post-stall ETA = %v, want 0 (unknown)", snap.ETA)
+	}
+	if snap.Rate <= 0 {
+		t.Errorf("post-stall whole-run rate missing: %+v", snap)
+	}
+	if got := snap.String(); !strings.Contains(got, "ETA ∞") {
+		t.Errorf("post-stall String() = %q, want an ETA ∞ marker", got)
+	}
+
+	// A finished run stays silent: no remaining work, no ∞.
+	done := RateSnapshot{Done: 5, Total: 5, Rate: 1}
+	if got := done.String(); strings.Contains(got, "∞") {
+		t.Errorf("finished String() = %q, must not render ∞", got)
 	}
 }
 

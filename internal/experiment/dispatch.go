@@ -16,8 +16,22 @@ import (
 
 	"scalefree/internal/core"
 	"scalefree/internal/engine"
+	"scalefree/internal/obs/trace"
 	"scalefree/internal/sweep"
 )
+
+// reduceSpan brackets a plan's Reduce with a span on the control lane
+// (TID 0). Reduce runs once per experiment on one goroutine, so the
+// cold-path Emit pair is cheap and always well-nested.
+func reduceSpan(rec *trace.Recorder, expID string, reduce func() error) error {
+	if !rec.Enabled() {
+		return reduce()
+	}
+	rec.Emit(trace.Record{Ph: 'B', Name: "reduce " + expID, Cat: "reduce"})
+	err := reduce()
+	rec.Emit(trace.Record{Ph: 'E'})
+	return err
+}
 
 // planJob plans the experiment and derives the sweep job identity
 // (experiment ID + plan fingerprint) that addresses its artifacts.
@@ -56,8 +70,11 @@ func (e Experiment) RunCached(ctx context.Context, cfg Config, opts engine.Optio
 	for i := range results {
 		results[i] = byIdx[i]
 	}
-	tables, err := plan.Reduce(results)
-	if err != nil {
+	var tables []Table
+	if err := reduceSpan(opts.Trace, e.ID, func() (rerr error) {
+		tables, rerr = plan.Reduce(results)
+		return rerr
+	}); err != nil {
 		return nil, stats, fmt.Errorf("%s: reducing: %w", e.ID, err)
 	}
 	return tables, stats, nil
@@ -167,8 +184,10 @@ func CoordinateSweep(ctx context.Context, selected []Experiment, cfg Config, lis
 		for j := range results {
 			results[j] = byJob[i][j]
 		}
-		tables[i], err = plans[i].Reduce(results)
-		if err != nil {
+		if err := reduceSpan(opts.Trace, e.ID, func() (rerr error) {
+			tables[i], rerr = plans[i].Reduce(results)
+			return rerr
+		}); err != nil {
 			return nil, fmt.Errorf("%s: reducing: %w", e.ID, err)
 		}
 	}

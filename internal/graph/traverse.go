@@ -3,6 +3,8 @@ package graph
 import (
 	"sync"
 	"sync/atomic"
+
+	"scalefree/internal/obs/trace"
 )
 
 // Unreachable is the distance reported by BFS for vertices not connected
@@ -60,6 +62,15 @@ const bfsSerialFrontier = 256
 // belongs to one traversal at a time (one goroutine calls in; the
 // workers it fans out to are internal).
 type BFSScratch struct {
+	// Trace, when non-nil, records sampled frontier-level spans
+	// ("bfs_level") on the traversing goroutine's trace writer;
+	// TraceSample k records every k-th level (0 disables). Level spans
+	// are emitted only from the barrier goroutine, never from the
+	// fanned-out workers, so the writer's single-goroutine contract
+	// holds.
+	Trace       *trace.Writer
+	TraceSample int
+
 	frontier []Vertex
 	next     []Vertex
 	workers  []bfsWorker
@@ -157,6 +168,10 @@ func (s *BFSScratch) flood(g *Graph, target []int32, workers int, levelValues bo
 		if levelValues {
 			val = level + 1
 		}
+		sampled := s.TraceSample > 0 && int(level)%s.TraceSample == 0
+		if sampled {
+			s.Trace.Begin("bfs_level", "bfs")
+		}
 		if workers <= 1 || len(s.frontier) < bfsSerialFrontier {
 			s.next = s.next[:0]
 			for _, u := range s.frontier {
@@ -182,6 +197,9 @@ func (s *BFSScratch) flood(g *Graph, target []int32, workers int, levelValues bo
 			for i := range s.workers {
 				s.next = append(s.next, s.workers[i].next...)
 			}
+		}
+		if sampled {
+			s.Trace.End()
 		}
 		s.frontier, s.next = s.next, s.frontier
 		level++

@@ -1,0 +1,64 @@
+// Build identity: what binary is this fleet actually running? A
+// coordinated sweep aborts on plan-fingerprint skew, but the operator
+// debugging that abort needs to see *which* revision each process
+// carries — so the ops plane exposes the embedded Go build info both
+// as a /status section and as the Prometheus info-pattern constant
+// scalefree_build_info.
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is the running binary's identity, read from the build
+// metadata the Go linker embeds. Fields fall back to "unknown" when
+// the binary was built without VCS stamping (e.g. `go test`, or a
+// build outside a repository).
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for local
+	// builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash the binary was built from.
+	Revision string `json:"revision"`
+	// Modified is "true" when the working tree was dirty at build time,
+	// "false" when clean, "unknown" without VCS stamping.
+	Modified string `json:"modified"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// ReadBuild collects the binary's BuildInfo.
+func ReadBuild() BuildInfo {
+	bi := BuildInfo{Version: "unknown", Revision: "unknown", Modified: "unknown", GoVersion: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo exposes the binary's identity on r as the constant
+// metric scalefree_build_info{version,revision,modified,go_version} 1
+// and returns the same BuildInfo for /status payloads.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	bi := ReadBuild()
+	r.Info("scalefree_build_info",
+		"Build identity of the running binary; the value is always 1.",
+		[][2]string{
+			{"version", bi.Version},
+			{"revision", bi.Revision},
+			{"modified", bi.Modified},
+			{"go_version", bi.GoVersion},
+		})
+	return bi
+}

@@ -134,6 +134,23 @@ func (g *gaugeFunc) appendText(b []byte) []byte {
 	})
 }
 
+func (m *infoMetric) appendText(b []byte) []byte {
+	b = appendHeader(b, m.d, "gauge")
+	b = append(b, m.d.name...)
+	b = append(b, '{')
+	for i, lv := range m.labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, lv[0]...)
+		b = append(b, `="`...)
+		b = appendEscapedLabel(b, lv[1])
+		b = append(b, '"')
+	}
+	b = append(b, "} 1\n"...)
+	return b
+}
+
 func (v *CounterVec) appendText(b []byte) []byte {
 	b = appendHeader(b, v.d, "counter")
 	for _, lv := range v.sortedValues() {

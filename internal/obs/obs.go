@@ -123,6 +123,8 @@ func kindOf(m metric) string {
 		return "counter vec"
 	case *HistogramVec:
 		return "histogram vec"
+	case *infoMetric:
+		return "info"
 	default:
 		return fmt.Sprintf("%T", m)
 	}
@@ -171,6 +173,20 @@ func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *Hi
 	return r.register(name, "histogram vec", func(d desc) metric {
 		return &HistogramVec{d: d, label: label, buckets: buckets, children: map[string]*Histogram{}}
 	}, help).(*HistogramVec)
+}
+
+// Info registers (or returns) a constant info-pattern metric: a gauge
+// fixed at 1 whose ordered label pairs carry identity (build revision,
+// version) that belongs in labels, not in a value. Re-registering a
+// name keeps the first labels.
+func (r *Registry) Info(name, help string, labels [][2]string) {
+	r.register(name, "info", func(d desc) metric { return &infoMetric{d: d, labels: labels} }, help)
+}
+
+// infoMetric is the constant gauge behind Registry.Info.
+type infoMetric struct {
+	d      desc
+	labels [][2]string
 }
 
 // Counter is a monotonically increasing count. All methods are

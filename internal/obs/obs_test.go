@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -203,6 +205,87 @@ func TestMetricsRace(t *testing.T) {
 	}
 	if got := h.Count(); got != int64(n*perG) {
 		t.Errorf("histogram count = %d, want %d", got, n*perG)
+	}
+}
+
+// TestHistogramVecLabelCardinality: a vec keeps one isolated child per
+// label value — repeated With returns the same instance, observations
+// never bleed across children, and the exposition renders exactly one
+// bucket series set per value, sorted by label value.
+func TestHistogramVecLabelCardinality(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("card_seconds", "cardinality", "exp", []float64{1})
+	const n = 64
+	children := make(map[string]*Histogram, n)
+	for i := 0; i < n; i++ {
+		lv := fmt.Sprintf("E%02d", i)
+		h := hv.With(lv)
+		if h == nil {
+			t.Fatalf("With(%q) returned nil", lv)
+		}
+		if prev, ok := children[lv]; ok && prev != h {
+			t.Fatalf("With(%q) returned a second instance", lv)
+		}
+		children[lv] = h
+		for j := 0; j <= i; j++ {
+			h.Observe(0.5)
+		}
+	}
+	// Stability: a second round of With hits the same children.
+	for lv, h := range children {
+		if hv.With(lv) != h {
+			t.Errorf("With(%q) no longer returns the original child", lv)
+		}
+	}
+	// Isolation: each child holds exactly its own observations.
+	for i := 0; i < n; i++ {
+		lv := fmt.Sprintf("E%02d", i)
+		if got := children[lv].Count(); got != int64(i+1) {
+			t.Errorf("child %q count = %d, want %d", lv, got, i+1)
+		}
+	}
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	var countLines []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "card_seconds_count{") {
+			countLines = append(countLines, line)
+		}
+	}
+	if len(countLines) != n {
+		t.Fatalf("exposition has %d _count series, want %d", len(countLines), n)
+	}
+	if !sort.StringsAreSorted(countLines) {
+		t.Error("_count series not sorted by label value")
+	}
+	if want := fmt.Sprintf(`card_seconds_count{exp="E%02d"} %d`, n-1, n); countLines[n-1] != want {
+		t.Errorf("last series = %q, want %q", countLines[n-1], want)
+	}
+}
+
+// TestInfoMetricExposition pins the info pattern: a constant gauge 1
+// whose labels render in registration order with full escaping.
+func TestInfoMetricExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Info("thing_build_info", "identity", [][2]string{
+		{"version", "(devel)"},
+		{"revision", `abc"def\x`},
+	})
+	r.Info("thing_build_info", "second registration is ignored", [][2]string{{"version", "other"}})
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP thing_build_info identity
+# TYPE thing_build_info gauge
+thing_build_info{version="(devel)",revision="abc\"def\\x"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("info exposition:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

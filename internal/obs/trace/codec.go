@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire batch codec: the worker ships its span records to the
+// coordinator hex-encoded on the COMPLETE line, so the format must be
+// compact, line-safe, and truncatable without corruption. Layout:
+//
+//	byte 0        codec version (1)
+//	per record    ph(1) tid(4 LE) ts(8 LE) id(8 LE)
+//	              nameLen(2 LE) name  catLen(2 LE) cat  argLen(2 LE) arg
+//
+// Records are encoded oldest-first and truncated newest-first when the
+// batch would exceed the wire budget; a truncated batch is a valid
+// shorter batch (each record is self-delimiting), so decode never sees
+// a torn record.
+
+const codecVersion = 1
+
+// recordOverhead is the fixed per-record encoding size.
+const recordOverhead = 1 + 4 + 8 + 8 + 2 + 2 + 2
+
+// EncodeBatch encodes records into at most max bytes, dropping the
+// newest records that do not fit. It returns the encoding and the
+// number of records dropped.
+func EncodeBatch(recs []Record, max int) ([]byte, int) {
+	if len(recs) == 0 || max < 1 {
+		return nil, len(recs)
+	}
+	buf := make([]byte, 1, min(max, len(recs)*(recordOverhead+24)+1))
+	buf[0] = codecVersion
+	encoded := 0
+	for _, rec := range recs {
+		name, cat, arg := clip(rec.Name), clip(rec.Cat), clip(rec.Arg)
+		need := recordOverhead + len(name) + len(cat) + len(arg)
+		if len(buf)+need > max {
+			break
+		}
+		buf = append(buf, rec.Ph)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.TID))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.TS))
+		buf = binary.LittleEndian.AppendUint64(buf, rec.ID)
+		buf = appendString(buf, name)
+		buf = appendString(buf, cat)
+		buf = appendString(buf, arg)
+		encoded++
+	}
+	return buf, len(recs) - encoded
+}
+
+// DecodeBatch parses an EncodeBatch payload.
+func DecodeBatch(b []byte) ([]Record, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if b[0] != codecVersion {
+		return nil, fmt.Errorf("trace: batch codec version %d, want %d", b[0], codecVersion)
+	}
+	b = b[1:]
+	var recs []Record
+	for len(b) > 0 {
+		if len(b) < recordOverhead-6 { // fixed header before the strings
+			return nil, fmt.Errorf("trace: truncated record header (%d bytes left)", len(b))
+		}
+		var rec Record
+		rec.Ph = b[0]
+		rec.TID = int32(binary.LittleEndian.Uint32(b[1:5]))
+		rec.TS = int64(binary.LittleEndian.Uint64(b[5:13]))
+		rec.ID = binary.LittleEndian.Uint64(b[13:21])
+		b = b[21:]
+		var err error
+		if rec.Name, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		if rec.Cat, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		if rec.Arg, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func clip(s string) string {
+	if len(s) > 0xffff {
+		return s[:0xffff]
+	}
+	return s
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("trace: truncated string length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("trace: truncated string (%d of %d bytes)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}

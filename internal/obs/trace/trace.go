@@ -1,0 +1,433 @@
+// Package trace is the sweep's causal timeline: a zero-dependency span
+// model recorded into per-goroutine buffers and exported as Chrome
+// trace-event JSON that loads directly in Perfetto or chrome://tracing.
+//
+// The span taxonomy mirrors the execution architecture: one root sweep
+// span, a span per experiment, a span per chunk lease (coordinator and
+// worker side, linked by a wire-propagated context id), a span per
+// trial, and generate/freeze/search/reduce phase spans inside it.
+// Steals, retries, reconnects, and drain appear as instant events;
+// steal/retry lineage is carried by flow events ('s' at the cause, 'f'
+// at the re-grant) so Perfetto draws an arrow from the lost lease to
+// the chunk's next home.
+//
+// Determinism boundary: tracing observes the sweep, it never feeds it.
+// Span and flow ids are derived by FNV-1a from the sweep's
+// deterministic fingerprint plus chunk/trial indices — no math/rand,
+// no hashing of wall-clock — so ids are stable across runs and across
+// processes without coordination. Timestamps are wall-clock, but they
+// flow only into the trace file, never into a result; the single
+// sanctioned clock read lives in nowNano below.
+//
+// Hot-path discipline: a Writer is single-goroutine (the engine hands
+// one to each worker goroutine) and records into a preallocated slice
+// with a drop-newest overflow policy that still guarantees matched
+// B/E pairs: Begin reserves space for its own End plus the Ends of
+// every span already open, so an End never fails for lack of room.
+// When a Begin is dropped, every nested Begin is dropped with it
+// (suppress counting), so the recorded stream always nests correctly.
+// Steady-state Begin/End/Instant on a warm Writer performs zero
+// allocations (pinned by TestWriterZeroAlloc).
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record is one trace event. TS is absolute wall-clock nanoseconds;
+// export normalizes to microseconds relative to the earliest record.
+// B/E pairs carry no id — Chrome matches them by per-(pid,tid) stack
+// order, which the Writer discipline guarantees. ID is used by flow
+// events ('s'/'f') only.
+type Record struct {
+	TS   int64  // wall-clock nanoseconds (the trace clock)
+	ID   uint64 // flow id for 's'/'f'; 0 otherwise
+	TID  int32  // lane within the emitting process
+	Ph   byte   // 'B', 'E', 'i', 's', or 'f'
+	Name string
+	Cat  string
+	Arg  string // optional detail, exported as args:{"detail":...}
+}
+
+// nowNano is the trace clock. Timestamps feed only the trace file,
+// never a result, so this is the package's one sanctioned clock read.
+//
+//sf:wallclock — trace timestamps are observability output only.
+func nowNano() int64 { return time.Now().UnixNano() }
+
+// Now exposes the trace clock for callers that build Records by hand
+// (the coordinator's cold-path lease spans). It is not for trial code.
+func Now() int64 { return nowNano() }
+
+// Writer records spans for one goroutine. It is not safe for
+// concurrent use; acquire one per goroutine from Recorder.Writer and
+// hand it back with Recorder.Release. A nil *Writer is a valid no-op
+// recorder, so call sites need no tracing-enabled branches.
+type Writer struct {
+	recs      []Record
+	tid       int32
+	reserved  int   // open recorded spans: each holds one End slot
+	suppress  int   // nesting depth of dropped Begins
+	dropped   int64 // records lost to overflow
+	bfsSample int   // copy of Recorder.BFSSample
+}
+
+// TID returns the lane this writer records into (0 for a nil writer).
+func (w *Writer) TID() int32 {
+	if w == nil {
+		return 0
+	}
+	return w.tid
+}
+
+// SampleEvery returns the BFS level-span sampling stride: 0 disables
+// level spans, k records every k-th level.
+func (w *Writer) SampleEvery() int {
+	if w == nil {
+		return 0
+	}
+	return w.bfsSample
+}
+
+// Begin opens a span. The overflow policy is drop-newest with
+// guaranteed pairing: recording requires room for this Begin, its own
+// End, and the reserved Ends of every open span; otherwise the span
+// and everything nested in it are suppressed and counted as dropped.
+//
+//sf:hotpath — runs inside the trial loop.
+func (w *Writer) Begin(name, cat string) {
+	if w == nil {
+		return
+	}
+	if w.suppress > 0 || cap(w.recs)-len(w.recs) < w.reserved+2 {
+		w.suppress++
+		w.dropped++
+		return
+	}
+	w.recs = append(w.recs, Record{TS: nowNano(), TID: w.tid, Ph: 'B', Name: name, Cat: cat})
+	w.reserved++
+}
+
+// End closes the innermost open span. Ends of suppressed Begins are
+// absorbed by the suppress count; Ends of recorded Begins always have
+// a reserved slot, so a recorded B is never left unmatched.
+//
+//sf:hotpath — runs inside the trial loop.
+func (w *Writer) End() {
+	if w == nil {
+		return
+	}
+	if w.suppress > 0 {
+		w.suppress--
+		return
+	}
+	if w.reserved == 0 {
+		return // unmatched End: ignore rather than corrupt the stream
+	}
+	w.reserved--
+	w.recs = append(w.recs, Record{TS: nowNano(), TID: w.tid, Ph: 'E'})
+}
+
+// Instant records a zero-duration event. It must not eat into the
+// reserved End slots, so it needs reserved+1 free records.
+//
+//sf:hotpath — runs inside the trial loop.
+func (w *Writer) Instant(name, cat, arg string) {
+	if w == nil {
+		return
+	}
+	if cap(w.recs)-len(w.recs) < w.reserved+1 {
+		w.dropped++
+		return
+	}
+	w.recs = append(w.recs, Record{TS: nowNano(), TID: w.tid, Ph: 'i', Name: name, Cat: cat, Arg: arg})
+}
+
+// defaultWriterCap bounds one writer's buffer: 8192 records ≈ 0.6 MiB.
+// Long sweeps overflow into the drop-newest policy rather than grow.
+const defaultWriterCap = 8192
+
+// Recorder owns the process's trace state: it hands out per-goroutine
+// Writers, collects their records on release, accepts cold-path
+// records via Emit, merges worker batches received over the wire into
+// per-worker process lanes, and exports the whole timeline as Chrome
+// trace-event JSON. All methods are safe on a nil receiver, and the
+// internal mutex is a leaf lock: Emit and the pending-flow helpers are
+// callable under any sweep lock.
+type Recorder struct {
+	// ProcName labels process lane 0 in the export ("sweep",
+	// "coordinator", ...). Set before WriteJSON.
+	ProcName string
+	// WriterCap overrides the per-writer buffer capacity (records).
+	// Zero means defaultWriterCap. Set before the first Writer call.
+	WriterCap int
+	// BFSSample is copied to each new Writer: 0 disables BFS level
+	// spans, k records every k-th frontier level.
+	BFSSample int
+
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	spill    []Record // released writer records + Emit cold path
+	free     []*Writer
+	nextTID  int32
+	workers  []string   // merge order defines worker pids (lane i → pid i+1)
+	merged   [][]Record // wire batches per worker
+	pending  map[string]uint64
+	attempts map[string]int
+	dropped  int64
+}
+
+// New returns an enabled Recorder. Worker processes keep theirs
+// disabled (SetEnabled(false)) until a traced lease arrives over the
+// wire, so an untraced sweep records nothing.
+func New() *Recorder {
+	r := &Recorder{ProcName: "sweep"}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled flips recording. While disabled, Writer returns nil and
+// Emit drops, so every record call degrades to a no-op.
+func (r *Recorder) SetEnabled(on bool) {
+	if r == nil {
+		return
+	}
+	r.enabled.Store(on)
+}
+
+// Enabled reports whether the recorder is accepting records.
+func (r *Recorder) Enabled() bool {
+	return r != nil && r.enabled.Load()
+}
+
+// Writer returns a single-goroutine span writer, recycling released
+// buffers so lane ids stay bounded by the peak writer concurrency.
+// Returns nil (a valid no-op writer) when the recorder is disabled.
+func (r *Recorder) Writer() *Writer {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.free); n > 0 {
+		w := r.free[n-1]
+		r.free = r.free[:n-1]
+		w.bfsSample = r.BFSSample
+		return w
+	}
+	capacity := r.WriterCap
+	if capacity <= 0 {
+		capacity = defaultWriterCap
+	}
+	r.nextTID++
+	return &Writer{recs: make([]Record, 0, capacity), tid: r.nextTID, bfsSample: r.BFSSample}
+}
+
+// Release drains a writer's records into the recorder and recycles the
+// buffer. Dangling open spans are closed first so the stream keeps its
+// matched-pair guarantee even if the owner unwound early.
+func (r *Recorder) Release(w *Writer) {
+	if r == nil || w == nil {
+		return
+	}
+	for w.reserved > 0 {
+		w.End()
+	}
+	w.suppress = 0
+	r.mu.Lock()
+	r.spill = append(r.spill, w.recs...)
+	r.dropped += w.dropped
+	w.recs = w.recs[:0]
+	w.dropped = 0
+	r.free = append(r.free, w)
+	r.mu.Unlock()
+}
+
+// Emit appends one cold-path record (coordinator lease spans, flow
+// events, lifecycle instants). A zero TS is stamped on entry. The
+// recorder mutex is a leaf lock, so Emit is safe under sweep locks.
+func (r *Recorder) Emit(rec Record) {
+	if !r.Enabled() {
+		return
+	}
+	if rec.TS == 0 {
+		rec.TS = nowNano()
+	}
+	r.mu.Lock()
+	r.spill = append(r.spill, rec)
+	r.mu.Unlock()
+}
+
+// Drain removes and returns every locally recorded record (released
+// writers plus Emit). Workers call it after each lease to ship the
+// batch on the COMPLETE line.
+func (r *Recorder) Drain() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := r.spill
+	r.spill = nil
+	r.mu.Unlock()
+	return out
+}
+
+// Reset discards locally recorded records in place, keeping capacity.
+// Benchmarks use it to hold steady-state between iterations.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spill = r.spill[:0]
+	r.mu.Unlock()
+}
+
+// Merge files a worker's wire batch under that worker's process lane.
+// The first batch from a name allocates the lane; order of first
+// arrival defines worker pids.
+func (r *Recorder) Merge(worker string, recs []Record) {
+	if r == nil || len(recs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, name := range r.workers {
+		if name == worker {
+			r.merged[i] = append(r.merged[i], recs...)
+			return
+		}
+	}
+	r.workers = append(r.workers, worker)
+	r.merged = append(r.merged, append([]Record(nil), recs...))
+}
+
+// Dropped returns the number of records lost to writer overflow so
+// far collected (released writers only).
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// SetPending remembers a flow id for a key (a chunk whose lease was
+// stolen or failed) until the chunk is re-granted. Leaf-locked, so
+// callable from under the lease table's lock.
+func (r *Recorder) SetPending(key string, id uint64) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	if r.pending == nil {
+		r.pending = make(map[string]uint64)
+	}
+	r.pending[key] = id
+	r.mu.Unlock()
+}
+
+// NextFlow derives the retry-flow id for the key's next attempt (a
+// per-key counter folded into base by FNV-1a, so repeated steals of
+// one chunk get distinct flow ids) and registers it as pending until
+// the chunk's re-grant consumes it with TakePending. Returns false
+// when the recorder is disabled.
+func (r *Recorder) NextFlow(key string, base uint64) (uint64, bool) {
+	if !r.Enabled() {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.attempts == nil {
+		r.attempts = make(map[string]int)
+	}
+	r.attempts[key]++
+	id := fnvInt(base, uint64(r.attempts[key]))
+	if r.pending == nil {
+		r.pending = make(map[string]uint64)
+	}
+	r.pending[key] = id
+	return id, true
+}
+
+// TakePending retrieves and clears the pending flow id for a key.
+func (r *Recorder) TakePending(key string) (uint64, bool) {
+	if !r.Enabled() {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.pending[key]
+	if ok {
+		delete(r.pending, key)
+	}
+	return id, ok
+}
+
+// AbandonPending terminates every still-pending flow with an 'f'
+// event named "retry_abandoned", so a steal whose chunk completed
+// through the original lease (and was never re-granted) still has a
+// matched flow pair in the export. Call once at sweep completion.
+func (r *Recorder) AbandonPending() {
+	if !r.Enabled() {
+		return
+	}
+	now := nowNano()
+	r.mu.Lock()
+	for key, id := range r.pending {
+		r.spill = append(r.spill, Record{TS: now, ID: id, Ph: 'f', Name: "retry_abandoned", Cat: "flow", Arg: key})
+		delete(r.pending, key)
+	}
+	r.mu.Unlock()
+}
+
+// FNV-1a 64-bit. Ids must be deterministic and coordination-free, so
+// they hash the sweep's content fingerprint plus indices; two distinct
+// chunks of one sweep get distinct ids with overwhelming probability,
+// and the same chunk gets the same id in every process.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvInt(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// LeaseContext derives the wire-propagated trace context id for a
+// chunk: the flow id linking the coordinator's grant to the worker's
+// lease span.
+func LeaseContext(expID, fingerprint string, lo, hi int) uint64 {
+	h := fnvString(fnvString(uint64(fnvOffset), expID), fingerprint)
+	h = fnvInt(h, uint64(lo))
+	h = fnvInt(h, uint64(hi))
+	return h
+}
+
+// RetryFlow derives the flow id linking a steal or failure of a chunk
+// (attempt n) to its re-grant (attempt n+1).
+func RetryFlow(expID, fingerprint string, lo, hi, attempt int) uint64 {
+	return fnvInt(LeaseContext(expID, fingerprint, lo, hi), uint64(attempt))
+}
+
+// Attacher is implemented by scratch types that can carry a trace
+// writer into the trial function (core.Scratch). The engine attaches
+// the per-worker writer through this seam so the engine stays generic.
+type Attacher interface {
+	AttachTrace(w *Writer)
+}

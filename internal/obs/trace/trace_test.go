@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// pairCheck walks one lane's records and verifies B/E events nest and
+// match exactly, returning the number of complete spans.
+func pairCheck(t *testing.T, recs []Record) int {
+	t.Helper()
+	depth, spans := 0, 0
+	for i, rec := range recs {
+		switch rec.Ph {
+		case 'B':
+			depth++
+		case 'E':
+			if depth == 0 {
+				t.Fatalf("record %d: E with no open span", i)
+			}
+			depth--
+			spans++
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("%d spans left open", depth)
+	}
+	return spans
+}
+
+func TestWriterMatchedPairsUnderOverflow(t *testing.T) {
+	r := New()
+	r.WriterCap = 16 // force overflow fast
+	w := r.Writer()
+	// Deep nesting + wide fanout, far beyond capacity: every recorded
+	// B must still get its E, and suppressed regions must absorb their
+	// own Ends without stealing reserved slots.
+	for i := 0; i < 10; i++ {
+		w.Begin("outer", "t")
+		for j := 0; j < 10; j++ {
+			w.Begin("inner", "t")
+			w.Instant("tick", "t", "")
+			w.End()
+		}
+		w.End()
+	}
+	if w.reserved != 0 || w.suppress != 0 {
+		t.Fatalf("writer not quiesced: reserved=%d suppress=%d", w.reserved, w.suppress)
+	}
+	if w.dropped == 0 {
+		t.Fatal("overflow test never overflowed; shrink WriterCap")
+	}
+	r.Release(w)
+	recs := r.Drain()
+	if len(recs) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if got := len(recs); got > 16 {
+		t.Fatalf("recorded %d records into a 16-record writer", got)
+	}
+	pairCheck(t, recs)
+}
+
+func TestWriterReleaseClosesDangling(t *testing.T) {
+	r := New()
+	w := r.Writer()
+	w.Begin("a", "t")
+	w.Begin("b", "t")
+	r.Release(w)
+	if spans := pairCheck(t, r.Drain()); spans != 2 {
+		t.Fatalf("got %d closed spans, want 2", spans)
+	}
+}
+
+func TestWriterZeroAlloc(t *testing.T) {
+	r := New()
+	w := r.Writer()
+	// Warm steady state: the recorded path and, after overflow, the
+	// suppressed path must both be allocation-free.
+	allocs := testing.AllocsPerRun(5000, func() {
+		w.Begin("trial", "t")
+		w.Instant("tick", "t", "tag")
+		w.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("Begin/Instant/End allocated %.1f per op, want 0", allocs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	var w *Writer
+	w.Begin("a", "b")
+	w.End()
+	w.Instant("a", "b", "c")
+	if w.SampleEvery() != 0 || w.TID() != 0 {
+		t.Fatal("nil writer getters")
+	}
+	if r.Writer() != nil {
+		t.Fatal("nil recorder handed out a writer")
+	}
+	r.Release(nil)
+	r.Emit(Record{Ph: 'i'})
+	r.Merge("w", []Record{{Ph: 'i'}})
+	r.SetPending("k", 1)
+	if _, ok := r.TakePending("k"); ok {
+		t.Fatal("nil recorder stored a pending flow")
+	}
+	r.AbandonPending()
+	if r.Drain() != nil || r.Dropped() != 0 {
+		t.Fatal("nil recorder drained records")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil WriteJSON output invalid: %v", err)
+	}
+}
+
+func TestDisabledRecorderDropsEverything(t *testing.T) {
+	r := New()
+	r.SetEnabled(false)
+	if r.Writer() != nil {
+		t.Fatal("disabled recorder handed out a writer")
+	}
+	r.Emit(Record{Ph: 'i', Name: "x"})
+	if len(r.Drain()) != 0 {
+		t.Fatal("disabled recorder recorded")
+	}
+	r.SetEnabled(true)
+	r.Emit(Record{Ph: 'i', Name: "x"})
+	if len(r.Drain()) != 1 {
+		t.Fatal("re-enabled recorder dropped")
+	}
+}
+
+func TestIDsDeterministic(t *testing.T) {
+	a := LeaseContext("E4", "fp", 0, 4)
+	if a != LeaseContext("E4", "fp", 0, 4) {
+		t.Fatal("LeaseContext not deterministic")
+	}
+	if a == LeaseContext("E4", "fp", 4, 8) || a == LeaseContext("E5", "fp", 0, 4) {
+		t.Fatal("LeaseContext collides across chunks")
+	}
+	if RetryFlow("E4", "fp", 0, 4, 1) == RetryFlow("E4", "fp", 0, 4, 2) {
+		t.Fatal("RetryFlow collides across attempts")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := []Record{
+		{TS: 123456789, TID: 3, Ph: 'B', Name: "E4/n=512/rep=0", Cat: "trial"},
+		{TS: 123456999, TID: 3, Ph: 'E'},
+		{TS: 123457000, ID: 0xdeadbeef, TID: 0, Ph: 'f', Name: "retry", Cat: "flow", Arg: "attempt=2"},
+	}
+	buf, dropped := EncodeBatch(in, 1<<20)
+	if dropped != 0 {
+		t.Fatalf("dropped %d records under a huge budget", dropped)
+	}
+	out, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestCodecTruncation(t *testing.T) {
+	var in []Record
+	for i := 0; i < 100; i++ {
+		in = append(in, Record{TS: int64(i), TID: 1, Ph: 'i', Name: "instant-event", Cat: "t"})
+	}
+	full, _ := EncodeBatch(in, 1<<20)
+	buf, dropped := EncodeBatch(in, len(full)/2)
+	if dropped == 0 {
+		t.Fatal("half budget dropped nothing")
+	}
+	out, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatalf("truncated batch failed to decode: %v", err)
+	}
+	if len(out)+dropped != len(in) {
+		t.Fatalf("decoded %d + dropped %d != %d", len(out), dropped, len(in))
+	}
+	// Oldest-first: the surviving prefix is the oldest records.
+	for i := range out {
+		if out[i].TS != int64(i) {
+			t.Fatalf("record %d has TS %d; truncation reordered", i, out[i].TS)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBatch([]byte{99}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	good, _ := EncodeBatch([]Record{{TS: 1, Ph: 'B', Name: "x"}}, 1<<20)
+	if _, err := DecodeBatch(good[:len(good)-1]); err == nil {
+		t.Fatal("torn record accepted")
+	}
+}
+
+func TestWriteJSONStructure(t *testing.T) {
+	r := New()
+	r.ProcName = "coordinator"
+	w := r.Writer()
+	w.Begin("E4/n=512/rep=0", "trial")
+	w.Begin("generate", "phase")
+	w.End()
+	w.End()
+	r.Release(w)
+	r.Emit(Record{Ph: 's', ID: 42, Name: "retry", Cat: "flow"})
+	r.Emit(Record{Ph: 'f', ID: 42, Name: "retry", Cat: "flow"})
+	r.Merge("worker-a", []Record{
+		{TS: Now(), TID: 1, Ph: 'B', Name: "lease", Cat: "lease"},
+		{TS: Now(), TID: 1, Ph: 'E'},
+	})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+			TS   int64  `json:"ts"`
+			ID   string `json:"id"`
+			BP   string `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var sawCoordMeta, sawWorkerMeta bool
+	flows := map[string][2]int{}
+	perLane := map[[2]int]int{} // (pid,tid) → B-E depth
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				if ev.PID == 0 {
+					sawCoordMeta = true
+				} else {
+					sawWorkerMeta = true
+				}
+			}
+		case "B":
+			perLane[[2]int{ev.PID, ev.TID}]++
+		case "E":
+			key := [2]int{ev.PID, ev.TID}
+			if perLane[key] == 0 {
+				t.Fatalf("lane %v: E with no open B", key)
+			}
+			perLane[key]--
+		case "s":
+			c := flows[ev.ID]
+			c[0]++
+			flows[ev.ID] = c
+		case "f":
+			if ev.BP != "e" {
+				t.Fatalf("flow f without bp=e: %+v", ev)
+			}
+			c := flows[ev.ID]
+			c[1]++
+			flows[ev.ID] = c
+		}
+		if ev.TS < 0 {
+			t.Fatalf("negative normalized timestamp: %+v", ev)
+		}
+	}
+	if !sawCoordMeta || !sawWorkerMeta {
+		t.Fatal("missing process_name metadata for coordinator or worker")
+	}
+	for key, depth := range perLane {
+		if depth != 0 {
+			t.Fatalf("lane %v: %d spans left open", key, depth)
+		}
+	}
+	for id, c := range flows {
+		if c[0] != c[1] {
+			t.Fatalf("flow %s: %d starts, %d finishes", id, c[0], c[1])
+		}
+	}
+	if !strings.Contains(buf.String(), "coordinator") || !strings.Contains(buf.String(), "worker-a") {
+		t.Fatal("process names missing from export")
+	}
+}
+
+func TestPendingFlows(t *testing.T) {
+	r := New()
+	r.SetPending("E4:0:4", 99)
+	if id, ok := r.TakePending("E4:0:4"); !ok || id != 99 {
+		t.Fatalf("TakePending = %d,%v", id, ok)
+	}
+	if _, ok := r.TakePending("E4:0:4"); ok {
+		t.Fatal("pending flow survived Take")
+	}
+	r.SetPending("E5:0:4", 7)
+	r.AbandonPending()
+	recs := r.Drain()
+	if len(recs) != 1 || recs[0].Ph != 'f' || recs[0].ID != 7 {
+		t.Fatalf("AbandonPending emitted %+v", recs)
+	}
+}
+
+func TestWriterRecycling(t *testing.T) {
+	r := New()
+	w1 := r.Writer()
+	tid := w1.TID()
+	r.Release(w1)
+	w2 := r.Writer()
+	if w2.TID() != tid {
+		t.Fatalf("freelist miss: tid %d then %d", tid, w2.TID())
+	}
+	w3 := r.Writer()
+	if w3.TID() == w2.TID() {
+		t.Fatal("two live writers share a tid")
+	}
+}

@@ -3,15 +3,18 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
 	"slices"
+	"strconv"
 	"sync"
 	"time"
 
 	"scalefree/internal/engine"
 	"scalefree/internal/obs"
+	"scalefree/internal/obs/trace"
 )
 
 // CoordJob is one experiment's plan as the coordinator schedules it:
@@ -76,6 +79,14 @@ type CoordOptions struct {
 	// Observer, if non-nil, is attached to this sweep so its Snapshot
 	// serves the /status endpoint while Coordinate runs.
 	Observer *CoordObserver
+	// Trace, if non-nil and enabled, records the sweep's causal
+	// timeline: a coordinator-side span per lease (on the connection's
+	// lane), steal/revoke/retry instants, flow events linking a lost
+	// lease to the chunk's re-grant, and the trace context propagated
+	// to workers on LEASE lines (their span batches come back on
+	// COMPLETE and are merged under per-worker process lanes). Strictly
+	// observational: tracing never feeds scheduling or results.
+	Trace *trace.Recorder
 }
 
 func (o CoordOptions) withDefaults() CoordOptions {
@@ -168,6 +179,20 @@ func Coordinate(ctx context.Context, lis net.Listener, jobs []CoordJob, opts Coo
 		<-drained
 	}
 
+	// Timeline close-out: leases still open at teardown (stragglers
+	// whose chunks completed through another lease) get their spans
+	// closed, and retry flows whose chunk was never re-granted get
+	// their terminating 'f', so the export holds no dangling B or 's'.
+	// Handlers have all exited, so nothing else is emitting.
+	if tr := opts.Trace; tr.Enabled() {
+		for _, l := range st.leases.Outstanding() {
+			tid := int32(l.ConnID)
+			tr.Emit(trace.Record{Ph: 'i', TID: tid, Name: "lease_outstanding", Cat: "lease", Arg: l.Worker})
+			tr.Emit(trace.Record{Ph: 'E', TID: tid})
+		}
+		tr.AbandonPending()
+	}
+
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.failure != nil {
@@ -214,6 +239,7 @@ func (st *coordState) drainOrFail(cause error) {
 	st.draining = true
 	st.mu.Unlock()
 	st.opts.Events.Emit(obs.Event{Event: "drain_start", Msg: cause.Error()})
+	st.opts.Trace.Emit(trace.Record{Ph: 'i', Name: "drain_start", Cat: "sweep", Arg: cause.Error()})
 	st.logf("sweep: cancelled (%v); draining in-flight leases for up to %v", cause, timeout)
 	deadline := time.Now().Add(timeout)
 	for st.leases.ActiveAfterReclaim() > 0 && time.Now().Before(deadline) {
@@ -309,14 +335,29 @@ func newCoordState(jobs []CoordJob, opts CoordOptions) (*coordState, error) {
 		case "revoke":
 			mLeasesRevoked.Inc()
 		}
+		job := st.jobs[l.Chunk.JobIdx].Job
 		st.opts.Events.Emit(obs.Event{
 			Event:  "lease_" + how,
 			Worker: l.Worker,
-			Exp:    st.jobs[l.Chunk.JobIdx].Job.ExpID,
+			Exp:    job.ExpID,
 			Lease:  l.ID,
 			Chunk:  obs.ChunkRange(l.Chunk.Lo, l.Chunk.Hi),
 			Conn:   l.ConnID,
 		})
+		// Trace the loss: close the lease span on the connection's
+		// lane, mark the moment, and open a retry flow that the
+		// chunk's re-grant (serveNext) will terminate — the arrow from
+		// the lost lease to the chunk's next home. The recorder's
+		// mutex is a leaf lock, so this is safe under leases.mu.
+		if tr := st.opts.Trace; tr.Enabled() {
+			tid := int32(l.ConnID)
+			tr.Emit(trace.Record{Ph: 'E', TID: tid})
+			tr.Emit(trace.Record{Ph: 'i', TID: tid, Name: "lease_" + how, Cat: "lease", Arg: l.Worker})
+			base := trace.LeaseContext(job.ExpID, job.Fingerprint, l.Chunk.Lo, l.Chunk.Hi)
+			if id, ok := tr.NextFlow(traceChunkKey(job.ExpID, l.Chunk), base); ok {
+				tr.Emit(trace.Record{Ph: 's', ID: id, TID: tid, Name: "retry", Cat: "flow"})
+			}
+		}
 	}
 	if opts.Observer != nil {
 		opts.Observer.attach(st)
@@ -532,6 +573,17 @@ func (st *coordState) handle(conn net.Conn) {
 				wc.send("ERR " + quoteMsg(err.Error()))
 				return
 			}
+			// A traced COMPLETE carries the worker's span batch as an
+			// optional hex field; merge it into the worker's process
+			// lane whether or not the lease is still live — results
+			// from a stolen lease are accepted, and so is its timeline.
+			if len(fields) > 1 && st.opts.Trace.Enabled() {
+				if raw, err := hex.DecodeString(fields[1]); err == nil {
+					if recs, err := trace.DecodeBatch(raw); err == nil {
+						st.opts.Trace.Merge(worker, recs)
+					}
+				}
+			}
 			reply := "GONE"
 			if l, ok := st.leases.Complete(id); ok {
 				reply = "OK"
@@ -545,6 +597,9 @@ func (st *coordState) handle(conn net.Conn) {
 					Chunk:  obs.ChunkRange(l.Chunk.Lo, l.Chunk.Hi),
 					Conn:   connID,
 				})
+				if st.opts.Trace.Enabled() {
+					st.opts.Trace.Emit(trace.Record{Ph: 'E', TID: int32(l.ConnID)})
+				}
 				// Coverage backstop: a COMPLETE whose results did not
 				// all arrive (a worker that violated the Execute
 				// contract) must not strand its chunk in limbo — the
@@ -564,6 +619,9 @@ func (st *coordState) handle(conn net.Conn) {
 			}
 			msg := unquoteMsg(fields[1:])
 			if l, ok := st.leases.Complete(id); ok {
+				if st.opts.Trace.Enabled() {
+					st.opts.Trace.Emit(trace.Record{Ph: 'E', TID: int32(l.ConnID)})
+				}
 				st.failChunk(worker, l.Chunk, msg)
 			}
 			// A FAIL on an already-revoked lease is ignored: the chunk
@@ -582,7 +640,9 @@ func (st *coordState) handle(conn net.Conn) {
 				wc.send("ERR " + quoteMsg(err.Error()))
 				return
 			}
-			st.leases.Complete(id)
+			if l, ok := st.leases.Complete(id); ok && st.opts.Trace.Enabled() {
+				st.opts.Trace.Emit(trace.Record{Ph: 'E', TID: int32(l.ConnID)})
+			}
 			mRefusals.Inc()
 			st.opts.Events.Emit(obs.Event{Event: "worker_refuse", Worker: worker, Conn: connID, Msg: unquoteMsg(fields[1:])})
 			st.fail(fmt.Errorf("sweep: worker %s: %s", worker, unquoteMsg(fields[1:])))
@@ -665,13 +725,28 @@ func (st *coordState) serveNext(wc *wireConn, worker string, connID uint64) erro
 			Chunk:  obs.ChunkRange(l.Chunk.Lo, l.Chunk.Hi),
 			Conn:   connID,
 		})
-		return wc.send(formatLease(leaseMsg{
+		m := leaseMsg{
 			ID:          l.ID,
 			ExpID:       job.Job.ExpID,
 			Fingerprint: job.Job.Fingerprint,
 			Lo:          l.Chunk.Lo,
 			Hi:          l.Chunk.Hi,
-		}))
+		}
+		if tr := st.opts.Trace; tr.Enabled() {
+			tid := int32(connID)
+			// A pending retry flow means this grant is the re-home of a
+			// stolen/failed chunk: terminate the arrow here.
+			if id, ok := tr.TakePending(traceChunkKey(job.Job.ExpID, l.Chunk)); ok {
+				tr.Emit(trace.Record{Ph: 'f', ID: id, TID: tid, Name: "retry", Cat: "flow"})
+			}
+			ctx := trace.LeaseContext(job.Job.ExpID, job.Job.Fingerprint, l.Chunk.Lo, l.Chunk.Hi)
+			tr.Emit(trace.Record{Ph: 'B', TID: tid,
+				Name: fmt.Sprintf("lease %s[%d,%d)", job.Job.ExpID, l.Chunk.Lo, l.Chunk.Hi),
+				Cat:  "lease", Arg: worker})
+			tr.Emit(trace.Record{Ph: 's', ID: ctx, TID: tid, Name: "lease", Cat: "flow"})
+			m.Trace = strconv.FormatUint(ctx, 16)
+		}
+		return wc.send(formatLease(m))
 	}
 	if st.isOver() {
 		return wc.send(st.finishLine())
@@ -721,6 +796,16 @@ func (st *coordState) failChunk(worker string, c chunk, msg string) {
 			Chunk:  obs.ChunkRange(c.Lo, c.Hi),
 			Msg:    msg,
 		})
+		// Open the retry flow: the arrow from this failure to the
+		// chunk's re-grant (serveNext consumes it). The lease span was
+		// already closed by the FAIL handler.
+		if tr := st.opts.Trace; tr.Enabled() {
+			tr.Emit(trace.Record{Ph: 'i', Name: "chunk_retry", Cat: "lease", Arg: worker})
+			base := trace.LeaseContext(expID, st.jobs[c.JobIdx].Job.Fingerprint, c.Lo, c.Hi)
+			if id, ok := tr.NextFlow(traceChunkKey(expID, c), base); ok {
+				tr.Emit(trace.Record{Ph: 's', ID: id, Name: "retry", Cat: "flow"})
+			}
+		}
 		st.leases.RequeueAvoiding(c, worker)
 		return
 	}
@@ -777,6 +862,12 @@ func (st *coordState) acceptResult(worker string, m resultMsg) error {
 		st.finishLocked()
 	}
 	return nil
+}
+
+// traceChunkKey identifies a chunk in the trace recorder's
+// pending-flow table (steal/retry lineage).
+func traceChunkKey(expID string, c chunk) string {
+	return fmt.Sprintf("%s:%d:%d", expID, c.Lo, c.Hi)
 }
 
 // errLeaseRevoked is the worker-side cause when a chunk's lease was

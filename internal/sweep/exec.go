@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scalefree/internal/engine"
+	"scalefree/internal/obs/trace"
 	"scalefree/internal/rng"
 )
 
@@ -78,6 +79,13 @@ func Execute[S any](
 				continue
 			}
 			run = append(run, t)
+		}
+		// Tag the timeline with the cache outcome for this batch: a
+		// lease that resolved mostly from cache explains a short lease
+		// span without guessing.
+		if opts.Trace.Enabled() {
+			opts.Trace.Emit(trace.Record{Ph: 'i', Name: "cache", Cat: "sweep",
+				Arg: fmt.Sprintf("%s hits=%d misses=%d", job.ExpID, stats.CacheHits, len(run))})
 		}
 	}
 

@@ -233,6 +233,25 @@ func (lt *leaseTable) RevokeConn(connID uint64) int {
 	return len(revoked)
 }
 
+// Outstanding removes and returns every still-active lease in grant
+// order — the coordinator's teardown uses it to close the trace spans
+// of stragglers whose chunks completed through another lease.
+func (lt *leaseTable) Outstanding() []lease {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	ids := make([]uint64, 0, len(lt.active))
+	for id := range lt.active {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	out := make([]lease, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *lt.active[id])
+		delete(lt.active, id)
+	}
+	return out
+}
+
 // Counts reports the pending-chunk and active-lease totals — the
 // scheduling summary /status renders. Expired leases are not reclaimed
 // here: a status read must never perturb scheduling.

@@ -18,12 +18,12 @@ import (
 //
 // Client (worker) lines:
 //
-//	HELLO SFCOORD3 <name> [<nonce-hex>]       open the session (nonce iff keyed)
+//	HELLO SFCOORD4 <name> [<nonce-hex>]       open the session (nonce iff keyed)
 //	AUTH <proof-hex>                          answer a CHAL challenge
 //	NEXT                                      request a chunk lease
 //	PING <leaseID>                            heartbeat while executing
 //	RESULT <leaseID> <expID> <trialIdx> <hex> one trial's encoded result
-//	COMPLETE <leaseID>                        all of the lease's results sent
+//	COMPLETE <leaseID> [<trace-hex>]          all of the lease's results sent (+ the worker's span batch when traced)
 //	FAIL <leaseID> <quoted-msg>               the chunk's execution failed (retriable: the chunk is re-leased once)
 //	REFUSE <leaseID> <quoted-msg>             this worker cannot run the sweep at all (plan mismatch, codec failure — aborts immediately)
 //
@@ -31,7 +31,7 @@ import (
 //
 //	OK [<heartbeat-millis>]           HELLO/AUTH/COMPLETE acknowledgement
 //	CHAL <nonce-hex> <proof-hex>      auth challenge + coordinator's own proof
-//	LEASE <id> <expID> <fp> <lo> <hi> a chunk: trials [lo,hi) of expID
+//	LEASE <id> <expID> <fp> <lo> <hi> [<trace-ctx>] a chunk: trials [lo,hi) of expID
 //	WAIT <millis>                     nothing leasable now; poll again
 //	DONE                              the sweep succeeded; disconnect
 //	ABORT <quoted-msg>                the sweep failed; exit nonzero
@@ -64,8 +64,15 @@ import (
 // extension and the HELLO nonce field (the handshake *sequence* is
 // unchanged for keyless fleets, but deadline-hardened peers are not
 // interoperable with SFCOORD2's unbounded blocking reads, so the
-// version gate keeps mixed fleets out).
-const protoVersion = "SFCOORD3"
+// version gate keeps mixed fleets out). SFCOORD3 → SFCOORD4: trace
+// propagation — LEASE grew an optional trailing trace-context field
+// (a hex span id; its presence is also the worker's signal that the
+// sweep is traced, so workers need no tracing flag of their own) and
+// COMPLETE grew an optional hex-encoded span batch
+// (internal/obs/trace codec) carrying the worker's child spans back
+// for the merged timeline. Old peers would reject the extra LEASE
+// field, so the version gate bumps.
+const protoVersion = "SFCOORD4"
 
 // wireMaxLine bounds one protocol line. Encoded trial results are
 // small (tens of bytes of struct fields, doubled by hex), so 1 MiB is
@@ -155,10 +162,18 @@ type leaseMsg struct {
 	ExpID       string
 	Fingerprint string
 	Lo, Hi      int // trial slice range [Lo,Hi) into the job's plan
+	// Trace is the optional hex trace-context id (SFCOORD4): non-empty
+	// iff the coordinator is tracing the sweep, in which case the
+	// worker records its own spans and ships them on COMPLETE.
+	Trace string
 }
 
 func formatLease(m leaseMsg) string {
-	return fmt.Sprintf("LEASE %d %s %s %d %d", m.ID, m.ExpID, m.Fingerprint, m.Lo, m.Hi)
+	s := fmt.Sprintf("LEASE %d %s %s %d %d", m.ID, m.ExpID, m.Fingerprint, m.Lo, m.Hi)
+	if m.Trace != "" {
+		s += " " + m.Trace
+	}
+	return s
 }
 
 // resultMsg is the parsed form of a RESULT line. The experiment ID
@@ -185,8 +200,8 @@ func splitMsg(line string) (verb string, fields []string) {
 }
 
 func parseLease(fields []string) (leaseMsg, error) {
-	if len(fields) != 5 {
-		return leaseMsg{}, fmt.Errorf("sweep: LEASE wants 5 fields, got %d", len(fields))
+	if len(fields) != 5 && len(fields) != 6 {
+		return leaseMsg{}, fmt.Errorf("sweep: LEASE wants 5 or 6 fields, got %d", len(fields))
 	}
 	id, err := strconv.ParseUint(fields[0], 10, 64)
 	if err != nil {
@@ -203,7 +218,11 @@ func parseLease(fields []string) (leaseMsg, error) {
 	if lo < 0 || hi < lo {
 		return leaseMsg{}, fmt.Errorf("sweep: LEASE range [%d,%d) invalid", lo, hi)
 	}
-	return leaseMsg{ID: id, ExpID: fields[1], Fingerprint: fields[2], Lo: lo, Hi: hi}, nil
+	m := leaseMsg{ID: id, ExpID: fields[1], Fingerprint: fields[2], Lo: lo, Hi: hi}
+	if len(fields) == 6 {
+		m.Trace = fields[5]
+	}
+	return m, nil
 }
 
 func parseResult(fields []string) (resultMsg, error) {

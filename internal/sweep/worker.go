@@ -2,15 +2,18 @@ package sweep
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"scalefree/internal/engine"
 	"scalefree/internal/obs"
+	"scalefree/internal/obs/trace"
 	"scalefree/internal/rng"
 )
 
@@ -69,11 +72,25 @@ type WorkerOptions struct {
 	// records (reconnects, revoked leases, chunk failures). Strictly
 	// observational.
 	Events *obs.EventLog
+	// Trace, if non-nil, is the worker's span recorder. It should be
+	// created disabled: the first LEASE carrying a trace context (the
+	// coordinator is tracing) enables it, so workers need no tracing
+	// flag — the wire is the switch. The same recorder must be wired
+	// into the engine options the resolver's Execute closures use, so
+	// trial spans land in it; each COMPLETE drains it into the wire
+	// batch the coordinator merges.
+	Trace *trace.Recorder
 }
 
 const (
 	defaultDialRetries     = 10
 	workerHandshakeTimeout = 10 * time.Second
+	// traceBatchBudget bounds the binary span batch a COMPLETE line
+	// carries: hex doubles it, and the verb + lease id need headroom
+	// inside wireMaxLine. Overflow drops the newest records (the codec
+	// reports the count); a chunk's spans are a few records per trial,
+	// so a real batch is orders of magnitude below this.
+	traceBatchBudget = (wireMaxLine - 64) / 2
 )
 
 // RunWorker connects to a coordinator, pulls chunk leases until the
@@ -163,6 +180,7 @@ func RunWorker(ctx context.Context, addr string, resolve WorkerJobResolver, opts
 		attempts++
 		mWorkerReconnects.Inc()
 		opts.Events.Emit(obs.Event{Event: "reconnect", Worker: name, N: int64(attempts), Msg: err.Error()})
+		opts.Trace.Emit(trace.Record{Ph: 'i', Name: "reconnect", Cat: "worker", Arg: err.Error()})
 		if attempts >= retries {
 			return stats, fmt.Errorf("sweep: worker giving up on %s after %d consecutive connection attempts: %w", addr, attempts, err)
 		}
@@ -436,6 +454,27 @@ func (c *chunkFailure) Unwrap() error { return c.err }
 // reconnects); every other error is fatal to this worker.
 func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobResolver, heartbeat time.Duration, opts WorkerOptions) (Stats, error) {
 	logf := opts.Log
+	// SFCOORD4: a trace context on the lease line means the sweep is
+	// traced. Enable the recorder (sticky — every traced lease carries
+	// the field) and open the worker-side lease span, terminating the
+	// coordinator's grant flow so the merged timeline draws the arrow
+	// from the grant to the execution.
+	traced := m.Trace != "" && opts.Trace != nil
+	if traced {
+		opts.Trace.SetEnabled(true)
+		if id, perr := strconv.ParseUint(m.Trace, 16, 64); perr == nil {
+			opts.Trace.Emit(trace.Record{Ph: 'f', ID: id, Name: "lease", Cat: "flow"})
+		}
+		opts.Trace.Emit(trace.Record{Ph: 'B',
+			Name: fmt.Sprintf("lease %s[%d,%d)", m.ExpID, m.Lo, m.Hi), Cat: "lease"})
+	}
+	endSpan := func() {
+		if traced {
+			traced = false
+			opts.Trace.Emit(trace.Record{Ph: 'E'})
+		}
+	}
+	defer endSpan()
 	job, err := resolve(m.ExpID, m.Fingerprint)
 	if err == nil && m.Hi > len(job.Trials) {
 		err = fmt.Errorf("lease range [%d,%d) exceeds local plan of %d trials", m.Lo, m.Hi, len(job.Trials))
@@ -504,7 +543,18 @@ func runLease(ctx context.Context, wc *wireConn, m leaseMsg, resolve WorkerJobRe
 			return stats, &transportError{err: fmt.Errorf("sweep: streaming results: %w", err)}
 		}
 	}
-	if err := wc.send(fmt.Sprintf("COMPLETE %d", m.ID)); err != nil {
+	completeLine := fmt.Sprintf("COMPLETE %d", m.ID)
+	if m.Trace != "" && opts.Trace != nil {
+		// Close the lease span first so it rides in its own batch, then
+		// drain everything this lease recorded (trial and phase spans
+		// from the engine writers included) onto the COMPLETE line.
+		endSpan()
+		if batch := opts.Trace.Drain(); len(batch) > 0 {
+			enc, _ := trace.EncodeBatch(batch, traceBatchBudget)
+			completeLine += " " + hex.EncodeToString(enc)
+		}
+	}
+	if err := wc.send(completeLine); err != nil {
 		return stats, &transportError{err: fmt.Errorf("sweep: completing lease: %w", err)}
 	}
 	line, err := wc.recv()
